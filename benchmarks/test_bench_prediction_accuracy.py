@@ -1,0 +1,52 @@
+"""Prediction-accuracy experiment (the paper's core accuracy claim).
+
+"Our model accurately predicts power and performance" for unseen
+kernels (abstract / Section V).  This benchmark cross-validates the
+model at benchmark granularity and scores every held-out kernel's
+whole-space predictions on:
+
+* magnitude — mean absolute percentage error of power and performance;
+* ranking — Kendall correlation between the predicted and true
+  configuration orderings (what the scheduler actually consumes).
+
+Shape assertions: power MAPE in the low single digits (the anchored
+regression), performance ranking tau above 0.75 on average, and no
+kernel with a negative ranking correlation (a catastrophically
+misclustered kernel would invert its frontier).
+
+The timed operation is the accuracy scoring of one fold's predictions.
+"""
+
+from repro.evaluation import evaluate_prediction_accuracy
+
+from conftest import write_artifact
+
+
+def test_prediction_accuracy(benchmark, suite):
+    report = benchmark.pedantic(
+        evaluate_prediction_accuracy,
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    text = report.summary()
+    worst = max(report.kernels, key=lambda k: k.perf_mape)
+    text += (
+        f"\n  hardest kernel: {worst.kernel_uid} "
+        f"(perf MAPE {100 * worst.perf_mape:.1f}%, cluster {worst.cluster})"
+    )
+    write_artifact("prediction_accuracy.txt", text)
+    print("\n" + text)
+
+    assert len(report.kernels) == 65  # every suite kernel held out once
+
+    # Magnitude accuracy.
+    assert report.mean("power_mape") < 0.08
+    assert report.mean("perf_mape") < 0.25
+
+    # Ranking accuracy: the scheduler's actual requirement.
+    assert report.mean("perf_rank_tau") > 0.75
+    assert report.mean("power_rank_tau") > 0.85
+    assert report.worst("perf_rank_tau") > 0.0
+    assert report.worst("power_rank_tau") > 0.0

@@ -1,0 +1,79 @@
+"""Scheduling-goal experiment (paper Section III-C).
+
+"The predicted values could be used to select configurations for energy
+efficiency, energy-delay product, or any other scheduling goal."  This
+benchmark exercises all three goals over the held-out LU kernels at a
+generous cap and verifies their defining trade-offs on *ground truth*:
+
+* the energy goal consumes the least true energy per invocation;
+* the performance goal achieves the highest true performance;
+* EDP lands between the two on both axes (weakly);
+* all three respect the cap.
+
+The timed operation is one energy-goal selection.
+"""
+
+import numpy as np
+
+from repro.core import CPU_SAMPLE, GPU_SAMPLE, Scheduler, train_model
+from repro.profiling import ProfilingLibrary
+
+from conftest import write_artifact
+
+CAP_W = 35.0
+
+
+def test_scheduling_goals(benchmark, exact_apu, suite):
+    library = ProfilingLibrary(exact_apu, seed=0)
+    model = train_model(library, [k for k in suite if k.benchmark != "SMC"])
+    test = suite.for_benchmark("SMC")
+
+    preds = {}
+    for k in test:
+        cm = exact_apu.run(k, CPU_SAMPLE)
+        gm = exact_apu.run(k, GPU_SAMPLE)
+        preds[k.uid] = model.predict_kernel(cm, gm, kernel_uid=k.uid)
+
+    benchmark(Scheduler("energy").select, preds[test[0].uid], CAP_W)
+
+    outcomes = {}
+    for goal in ("performance", "energy", "edp"):
+        sched = Scheduler(goal)
+        perfs, energies, powers = [], [], []
+        for k in test:
+            cfg = sched.select(preds[k.uid], CAP_W).config
+            t = exact_apu.true_time_s(k, cfg)
+            p = exact_apu.true_total_power_w(k, cfg)
+            perfs.append(1.0 / t)
+            energies.append(p * t)
+            powers.append(p)
+        outcomes[goal] = {
+            "perf": float(np.mean(perfs)),
+            "energy": float(np.mean(energies)),
+            "max_power": float(np.max(powers)),
+        }
+
+    lines = [f"Scheduling goals at a {CAP_W:.0f} W cap (held-out SMC)"]
+    for goal, o in outcomes.items():
+        lines.append(
+            f"  {goal:<12} perf {o['perf']:7.3f} inv/s  "
+            f"energy {o['energy']:6.2f} J/inv  "
+            f"max power {o['max_power']:5.1f} W"
+        )
+    text = "\n".join(lines)
+    write_artifact("scheduling_goals.txt", text)
+    print("\n" + text)
+
+    # Defining trade-offs (measured on ground truth).
+    assert outcomes["energy"]["energy"] <= outcomes["performance"]["energy"]
+    assert outcomes["performance"]["perf"] >= outcomes["energy"]["perf"]
+    assert (
+        outcomes["energy"]["energy"] - 1e-9
+        <= outcomes["edp"]["energy"]
+        <= outcomes["performance"]["energy"] + 1e-9
+    )
+    # Every goal respects the cap (predictions are accurate enough here).
+    for o in outcomes.values():
+        assert o["max_power"] <= CAP_W * 1.05
+    # The goals genuinely differ.
+    assert outcomes["energy"]["perf"] < outcomes["performance"]["perf"]

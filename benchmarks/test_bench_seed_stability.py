@@ -1,0 +1,71 @@
+"""Statistical stability: Table III across random seeds.
+
+The paper reports point estimates from one hardware campaign.  Our
+simulated reproduction can do better: re-run the entire cross-validated
+evaluation under several measurement-noise seeds and verify that the
+headline conclusions are not artifacts of one draw.
+
+Shape assertions (must hold for *every* seed):
+
+* Model+FL has the highest cap compliance;
+* GPU+FL has the lowest cap compliance;
+* CPU+FL has the lowest under-limit performance;
+
+and the spread of each headline number across seeds stays small
+(< 6 percentage points), showing the simulated evaluation is stable.
+
+The timed operation is one full LOOCV evaluation.
+"""
+
+import numpy as np
+
+from repro.evaluation import run_loocv, summarize
+
+from conftest import write_artifact
+
+SEEDS = (0, 1, 2)
+
+
+def test_seed_stability(benchmark, loocv_report):
+    # Seed 0 comes from the session fixture; time one fresh run.
+    fresh = benchmark.pedantic(
+        run_loocv, kwargs={"seed": SEEDS[1]}, rounds=1, iterations=1
+    )
+    reports = {
+        SEEDS[0]: loocv_report,
+        SEEDS[1]: fresh,
+        SEEDS[2]: run_loocv(seed=SEEDS[2]),
+    }
+
+    per_seed = {}
+    for seed, rep in reports.items():
+        per_seed[seed] = {s.method: s for s in summarize(rep.records)}
+
+    lines = ["Table III headline columns across seeds"]
+    for method in ("Model", "Model+FL", "GPU+FL", "CPU+FL"):
+        unders = [per_seed[s][method].pct_under_limit for s in SEEDS]
+        perfs = [per_seed[s][method].under_perf_pct for s in SEEDS]
+        lines.append(
+            f"  {method:<10} under {np.mean(unders):5.1f} +- "
+            f"{np.std(unders):4.2f}   U-perf {np.mean(perfs):5.1f} +- "
+            f"{np.std(perfs):4.2f}"
+        )
+    text = "\n".join(lines)
+    write_artifact("seed_stability.txt", text)
+    print("\n" + text)
+
+    for seed in SEEDS:
+        s = per_seed[seed]
+        best_under = max(x.pct_under_limit for x in s.values())
+        worst_under = min(x.pct_under_limit for x in s.values())
+        assert s["Model+FL"].pct_under_limit == best_under
+        assert s["GPU+FL"].pct_under_limit == worst_under
+        assert s["CPU+FL"].under_perf_pct == min(
+            x.under_perf_pct for x in s.values()
+        )
+
+    # Small spread across seeds for every headline number.
+    for method in ("Model", "Model+FL", "GPU+FL", "CPU+FL"):
+        for field in ("pct_under_limit", "under_perf_pct"):
+            vals = [getattr(per_seed[s][method], field) for s in SEEDS]
+            assert max(vals) - min(vals) < 6.0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cluster-level power management from node-level predicted frontiers.
+
+The paper's opening scenario: an exascale machine has "more hardware
+than can be powered fully simultaneously", so a system-wide budget is
+split into per-node caps.  This example builds a 4-node cluster running
+different applications, lets every node assemble its predicted
+rate-vs-cap frontier (two sample iterations per kernel, nothing more),
+and compares two allocators under a tight global budget:
+
+* uniform  — every node gets budget/4 (cap-blind state of practice);
+* greedy   — water-filling on the predicted frontiers: watts go where
+             the model says they buy the most *aggregate throughput*
+             (may starve slow nodes);
+* maxmin   — max-min-fair water-filling: watts go to the slowest node,
+             the right objective when *makespan* matters.
+
+Run:  python examples/cluster_power_manager.py
+"""
+
+from repro import ProfilingLibrary, TrinityAPU, build_suite, train_model
+from repro.cluster import ClusterNode, ClusterPowerManager, allocation_summary
+from repro.runtime import Application
+
+BUDGET_W = 72.0       # tight: ~18 W per node, below any GPU floor
+EPOCHS = 2
+TIMESTEPS = 4
+
+
+def build_nodes(suite, model):
+    groups = ["LU Small", "LU Large", "CoMD Small", "SMC Ref"]
+    return [
+        ClusterNode(f"node{i}", Application.from_suite(suite, g), model, seed=10 + i)
+        for i, g in enumerate(groups)
+    ]
+
+
+def main() -> None:
+    apu = TrinityAPU(seed=0)
+    suite = build_suite()
+    library = ProfilingLibrary(apu, seed=0)
+    print("Training the shared machine model (LULESH only, so every node's "
+          "application is unseen) ...")
+    model = train_model(library, suite.for_benchmark("LULESH"))
+
+    results = {}
+    for policy in ("uniform", "greedy", "maxmin"):
+        mgr = ClusterPowerManager(build_nodes(suite, model), policy=policy)
+        caps = mgr.allocate(BUDGET_W)
+        summary = allocation_summary(caps, mgr.frontiers(), BUDGET_W)
+        print(f"\n=== {policy} allocation of {BUDGET_W:.0f} W ===")
+        for name, cap in sorted(caps.items()):
+            app = mgr.nodes[name].application.name
+            print(f"  {name} ({app:<10}): cap {cap:5.1f} W")
+        print(f"  predicted cluster rate: {summary['predicted_rate']:.3f} "
+              f"timesteps/s, slack {summary['slack_w']:.1f} W")
+
+        report = mgr.run([BUDGET_W] * EPOCHS, n_epochs=EPOCHS,
+                         timesteps_per_epoch=TIMESTEPS)
+        results[policy] = report
+        print(f"  measured: throughput {report.mean_aggregate_rate:.3f} "
+              f"timesteps/s, makespan {report.total_time_s:.2f} s, "
+              f"energy {report.total_energy_j:.0f} J, "
+              f"budget compliance {100 * report.budget_compliance():.0f}% "
+              f"of epochs")
+
+    gain_tp = (
+        results["greedy"].mean_aggregate_rate
+        / results["uniform"].mean_aggregate_rate
+    )
+    gain_ms = results["uniform"].total_time_s / results["maxmin"].total_time_s
+    print(
+        f"\nAt the same {BUDGET_W:.0f} W budget, frontier-aware allocation "
+        f"delivered {gain_tp:.2f}x the throughput (greedy) and "
+        f"{gain_ms:.2f}x the makespan speed (maxmin) of uniform splitting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Explore a kernel's power-performance Pareto frontier (paper Fig 2 /
+Table I and Fig 7).
+
+Derives the ground-truth frontier of any suite kernel, prints the
+Table I-style listing, and shows how attainable performance depends on
+available power — including the LU Small "cliff" the paper highlights
+in Section V-D, where a 1-2 W power difference switches the best device
+from CPU to GPU and triples attainable performance.
+
+Run:  python examples/lulesh_frontier.py [kernel-uid]
+e.g.  python examples/lulesh_frontier.py LU/Small/LUDecomposition
+"""
+
+import sys
+
+from repro import NoiseModel, ParetoFrontier, TrinityAPU, build_suite
+from repro.evaluation import render_frontier_table
+
+DEFAULT_KERNEL = "LULESH/Large/CalcFBHourglassForce"
+
+
+def main() -> None:
+    uid = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_KERNEL
+    apu = TrinityAPU(noise=NoiseModel.exact(), seed=0)
+    suite = build_suite()
+    kernel = suite.get(uid)
+
+    measurements = apu.run_all_configs(kernel)
+    frontier = ParetoFrontier.from_measurements(measurements)
+
+    print(render_frontier_table(frontier, title=f"Pareto frontier of {uid}"))
+    print(
+        f"\n{len(measurements)} configurations measured; "
+        f"{len(frontier)} on the frontier "
+        f"({len(measurements) - len(frontier)} dominated and never worth "
+        f"selecting)"
+    )
+
+    print("\nAttainable performance vs power cap:")
+    caps = [12, 15, 18, 21, 24, 27, 30, 35]
+    for cap in caps:
+        best = frontier.best_under_cap(cap)
+        if best is None:
+            print(f"  {cap:3d} W: infeasible (minimum power "
+                  f"{frontier.min_power_w:.1f} W)")
+        else:
+            pct = 100.0 * best.performance / frontier.max_performance
+            print(f"  {cap:3d} W: {pct:5.1f}% of peak  <- {best.config.label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Compare power-limiting methods on one kernel (a miniature Table III).
+
+For a single unseen kernel, evaluates all four methods — Model,
+Model+FL, CPU+FL, GPU+FL — against the oracle across the kernel's
+oracle-frontier power caps (the paper's cap protocol, Section V-B), and
+prints each method's choice, actual power, and performance per cap.
+
+Run:  python examples/power_cap_comparison.py [kernel-uid]
+"""
+
+import sys
+
+from repro import ProfilingLibrary, TrinityAPU, build_suite, train_model
+from repro.evaluation import evaluate_kernel, render_table3, summarize
+from repro.methods import (
+    CpuFrequencyLimiting,
+    GpuFrequencyLimiting,
+    ModelMethod,
+    ModelPlusFL,
+    Oracle,
+)
+
+DEFAULT_KERNEL = "LU/Small/LUDecomposition"
+
+
+def main() -> None:
+    uid = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_KERNEL
+    apu = TrinityAPU(seed=0)
+    suite = build_suite()
+    kernel = suite.get(uid)
+
+    # Train with the kernel's whole benchmark held out (paper protocol).
+    library = ProfilingLibrary(apu, seed=0)
+    train = [k for k in suite if k.benchmark != kernel.benchmark]
+    print(f"Training model without {kernel.benchmark} kernels ...")
+    model = train_model(library, train)
+
+    oracle = Oracle(apu)
+    online = ProfilingLibrary(apu, seed=1)
+    methods = [
+        ModelMethod(model, online),
+        ModelPlusFL(model, online, seed=1),
+        CpuFrequencyLimiting(apu, seed=1),
+        GpuFrequencyLimiting(apu, seed=1),
+    ]
+
+    records = evaluate_kernel(apu, oracle, methods, kernel)
+
+    caps = sorted({r.power_cap_w for r in records})
+    print(f"\nPer-cap decisions for {uid} "
+          f"({len(caps)} caps from the oracle frontier):\n")
+    header = f"{'cap':>6}  {'oracle':<28}" + "".join(
+        f"{m.name:<30}" for m in methods
+    )
+    print(header)
+    for cap in caps:
+        row = [f"{cap:5.1f}W"]
+        cap_records = [r for r in records if r.power_cap_w == cap]
+        row.append(f" {cap_records[0].oracle_config.label():<28}")
+        for m in methods:
+            r = next(x for x in cap_records if x.method == m.name)
+            marker = " " if r.under_limit else "!"
+            row.append(f"{marker}{r.config.label():<29}")
+        print("".join(row))
+    print("\n('!' marks decisions that exceeded the cap)\n")
+
+    print(render_table3(summarize(records), title=f"Summary for {uid}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: train the adaptive model offline, then select a
+configuration for an unseen kernel under a power cap.
+
+This walks the paper's full pipeline (Figure 1) in ~30 lines:
+
+1. build the simulated Trinity APU and the benchmark suite;
+2. offline: characterize training kernels (every kernel on every
+   configuration), cluster them by frontier shape, fit per-cluster
+   regressions, train the classification tree;
+3. online: run an *unseen* kernel's first two iterations on the sample
+   configurations (Table II), predict power/performance for all 42
+   configurations, and schedule under a 20 W cap;
+4. compare the choice against the ground-truth optimum.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    OnlinePredictor,
+    ProfilingLibrary,
+    Scheduler,
+    TrinityAPU,
+    build_suite,
+    train_model,
+)
+
+
+def main() -> None:
+    apu = TrinityAPU(seed=0)
+    library = ProfilingLibrary(apu, seed=0)
+    suite = build_suite()
+
+    # Offline stage: train on everything except LU, the benchmark we
+    # will pretend is brand new (leave-one-benchmark-out, Section V-C).
+    training_kernels = [k for k in suite if k.benchmark != "LU"]
+    print(f"Training on {len(training_kernels)} kernels ...")
+    model = train_model(library, training_kernels)
+    print(f"  clusters: sizes={model.clustering.sizes()}, "
+          f"silhouette={model.clustering.silhouette:.2f}")
+
+    # Online stage: two sample iterations of the unseen kernel.
+    kernel = suite.get("LU/Small/LUDecomposition")
+    prediction = OnlinePredictor(model, library).predict(kernel)
+    print(f"\nUnseen kernel {kernel.uid} assigned to cluster "
+          f"{prediction.cluster}")
+
+    # Schedule under a power cap and sanity-check against ground truth.
+    power_cap_w = 20.0
+    decision = Scheduler().select(prediction, power_cap_w)
+    true_power = apu.true_total_power_w(kernel, decision.config)
+    true_perf = apu.true_performance(kernel, decision.config)
+    print(f"\nAt a {power_cap_w:.0f} W cap the model selects: "
+          f"{decision.config.label()}")
+    print(f"  predicted: {decision.predicted_power_w:5.1f} W, "
+          f"perf {decision.predicted_performance:.3f}")
+    print(f"  actual:    {true_power:5.1f} W, perf {true_perf:.3f}")
+
+    # What would perfect knowledge have done?
+    best, best_perf = None, 0.0
+    for cfg in apu.config_space:
+        if apu.true_total_power_w(kernel, cfg) <= power_cap_w:
+            p = apu.true_performance(kernel, cfg)
+            if p > best_perf:
+                best, best_perf = cfg, p
+    print(f"  oracle:    {best.label()} at perf {best_perf:.3f} "
+          f"({100 * true_perf / best_perf:.0f}% of optimal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,290 @@
+"""Command-line interface for the reproduction.
+
+Gives the paper's workflow a shell-level surface::
+
+    repro suite                          # list the benchmark suite
+    repro frontier LU/Small/LUDecomposition
+    repro train -o model.json --exclude-benchmark LU
+    repro predict -m model.json LU/Small/LUDecomposition --cap 20
+    repro evaluate --seed 0              # Table III end to end
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    OnlinePredictor,
+    ParetoFrontier,
+    Scheduler,
+    load_model,
+    save_model,
+    train_model,
+)
+from repro.evaluation import (
+    render_frontier_table,
+    render_table3,
+    run_loocv,
+    summarize,
+)
+from repro.hardware import NoiseModel, TrinityAPU
+from repro.profiling import ProfilingLibrary
+from repro.workloads import build_suite
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Adaptive configuration selection for power-constrained "
+            "heterogeneous systems (Bailey et al., ICPP 2014) - "
+            "reproduction CLI"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed (default 0)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the 65 benchmark/input kernels")
+
+    p_frontier = sub.add_parser(
+        "frontier", help="print a kernel's ground-truth Pareto frontier"
+    )
+    p_frontier.add_argument("kernel", help="kernel uid, e.g. LU/Small/LUDecomposition")
+
+    p_train = sub.add_parser("train", help="run the offline stage, save the model")
+    p_train.add_argument("-o", "--output", required=True, help="model JSON path")
+    p_train.add_argument(
+        "--exclude-benchmark",
+        default=None,
+        help="hold out one benchmark (for honest later prediction)",
+    )
+    p_train.add_argument(
+        "--n-clusters", type=int, default=5, help="cluster count (paper: 5)"
+    )
+    p_train.add_argument(
+        "--transform",
+        choices=("none", "log"),
+        default="none",
+        help="variance-stabilizing transform (paper Section VI)",
+    )
+
+    p_predict = sub.add_parser(
+        "predict", help="two sample runs, prediction, and cap scheduling"
+    )
+    p_predict.add_argument("-m", "--model", required=True, help="model JSON path")
+    p_predict.add_argument("kernel", help="kernel uid")
+    p_predict.add_argument(
+        "--cap", type=float, default=None, help="power cap in watts"
+    )
+    p_predict.add_argument(
+        "--goal",
+        choices=("performance", "energy", "edp"),
+        default="performance",
+        help="scheduling goal (default: performance)",
+    )
+
+    p_eval = sub.add_parser(
+        "evaluate", help="full leave-one-benchmark-out method comparison"
+    )
+    p_eval.add_argument(
+        "--no-freq-limiting",
+        action="store_true",
+        help="skip the CPU+FL / GPU+FL baselines",
+    )
+
+    sub.add_parser(
+        "accuracy", help="cross-validated prediction accuracy (MAPE, rank tau)"
+    )
+
+    p_rt = sub.add_parser(
+        "runtime", help="run one application under a power cap, print timeline"
+    )
+    p_rt.add_argument("group", help='benchmark/input group, e.g. "CoMD Small"')
+    p_rt.add_argument("--cap", type=float, default=22.0, help="power cap (W)")
+    p_rt.add_argument(
+        "--timesteps", type=int, default=6, help="timesteps to execute"
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="regenerate every paper table/figure into a directory",
+    )
+    p_report.add_argument(
+        "-o", "--output-dir", required=True, help="artifact directory"
+    )
+    return parser
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = build_suite()
+    print(f"{len(suite)} benchmark/input kernels "
+          f"({suite.distinct_kernel_count()} distinct):")
+    for group in suite.groups():
+        kernels = suite.for_group(group)
+        print(f"\n{group} ({len(kernels)} kernels):")
+        for k in kernels:
+            print(f"  {k.uid}  (weight {k.time_weight:.3f})")
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    apu = TrinityAPU(noise=NoiseModel.exact(), seed=args.seed)
+    kernel = build_suite().get(args.kernel)
+    frontier = ParetoFrontier.from_measurements(apu.run_all_configs(kernel))
+    print(render_frontier_table(frontier, title=f"Frontier of {args.kernel}"))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    apu = TrinityAPU(seed=args.seed)
+    library = ProfilingLibrary(apu, seed=args.seed)
+    suite = build_suite()
+    kernels = [
+        k for k in suite if k.benchmark != args.exclude_benchmark
+    ]
+    if not kernels:
+        print("error: exclusion leaves no training kernels", file=sys.stderr)
+        return 2
+    print(f"Characterizing {len(kernels)} kernels on all configurations ...")
+    model = train_model(
+        library,
+        kernels,
+        n_clusters=args.n_clusters,
+        transform=args.transform,
+    )
+    save_model(model, args.output)
+    print(
+        f"Model saved to {args.output} "
+        f"(clusters {model.clustering.sizes()}, "
+        f"silhouette {model.clustering.silhouette:.3f})"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    apu = TrinityAPU(seed=args.seed)
+    library = ProfilingLibrary(apu, seed=args.seed)
+    kernel = build_suite().get(args.kernel)
+    prediction = OnlinePredictor(model, library).predict(kernel)
+    print(f"{args.kernel} -> cluster {prediction.cluster}")
+
+    frontier = prediction.predicted_frontier()
+    print(render_frontier_table(frontier, title="Predicted frontier:"))
+
+    if args.cap is not None:
+        decision = Scheduler(args.goal).select(prediction, args.cap)
+        print(
+            f"\nAt {args.cap:.1f} W ({args.goal}): {decision.config.label()}  "
+            f"predicted {decision.predicted_power_w:.1f} W, "
+            f"perf {decision.predicted_performance:.3f}"
+            + ("" if decision.predicted_feasible else "  [cap infeasible]")
+        )
+        true_p = apu.true_total_power_w(kernel, decision.config)
+        print(f"  ground truth at that configuration: {true_p:.1f} W")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    print("Running leave-one-benchmark-out evaluation (~10 s) ...")
+    report = run_loocv(
+        seed=args.seed,
+        include_freq_limiting=not args.no_freq_limiting,
+    )
+    print(render_table3(summarize(report.records), title="Methods vs oracle:"))
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.evaluation import evaluate_prediction_accuracy
+
+    print("Scoring cross-validated prediction accuracy (~10 s) ...")
+    report = evaluate_prediction_accuracy(seed=args.seed)
+    print(report.summary())
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.runtime import AdaptiveRuntime, Application
+
+    suite = build_suite()
+    app = Application.from_suite(suite, args.group)
+    benchmark = app.kernels[0].benchmark
+    apu = TrinityAPU(seed=args.seed)
+    library = ProfilingLibrary(apu, seed=args.seed)
+    print(f"Training model without {benchmark} ...")
+    model = train_model(
+        library, [k for k in suite if k.benchmark != benchmark]
+    )
+    runtime = AdaptiveRuntime(model, ProfilingLibrary(apu, seed=args.seed + 1))
+    trace = runtime.run(app, args.timesteps, args.cap)
+    print(trace.render_timeline())
+    print(trace.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.evaluation import (
+        experiment_fig2_table1_frontier,
+        experiment_fig3_tree,
+        experiment_fig7_lu_frontier,
+        experiment_table3_and_figures,
+    )
+
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    print("Regenerating every paper artifact (~20 s) ...")
+    singles = [
+        experiment_fig2_table1_frontier(seed=args.seed),
+        experiment_fig3_tree(seed=args.seed),
+        experiment_fig7_lu_frontier(seed=args.seed),
+    ]
+    for result in singles:
+        (out / f"{result.experiment_id}.txt").write_text(
+            result.text + "\n", encoding="utf-8"
+        )
+    for key, result in experiment_table3_and_figures(seed=args.seed).items():
+        (out / f"{key}.txt").write_text(result.text + "\n", encoding="utf-8")
+    written = sorted(p.name for p in out.glob("*.txt"))
+    print(f"Wrote {len(written)} artifacts to {out}/:")
+    for name in written:
+        print(f"  {name}")
+    return 0
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "frontier": _cmd_frontier,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "evaluate": _cmd_evaluate,
+    "accuracy": _cmd_accuracy,
+    "runtime": _cmd_runtime,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as e:
+        # Unknown kernel uid and similar lookup failures.
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Multi-node cluster power management — the paper's motivating scenario.
+
+The paper's node-level model is framed as "a key ingredient to
+maximizing performance on a multi-node cluster" (Section I): system-wide
+power budgets filter down to per-node caps, and a cluster-level
+allocator should hand each node the power where it buys the most
+performance.  This subpackage builds that layer on top of the node-level
+system:
+
+* :class:`~repro.cluster.node.ClusterNode` — a node (own APU, profiling,
+  adaptive runtime) exposing a predicted application-level
+  rate-vs-cap :class:`~repro.cluster.node.NodeFrontier`;
+* :mod:`~repro.cluster.allocation` — uniform (state of the practice)
+  and greedy marginal water-filling (frontier-aware) budget splitting;
+* :class:`~repro.cluster.manager.ClusterPowerManager` — epoch loop:
+  allocate, run, account, reallocate when the budget moves.
+"""
+
+from repro.cluster.allocation import (
+    allocation_summary,
+    greedy_marginal_allocation,
+    maxmin_allocation,
+    uniform_allocation,
+)
+from repro.cluster.manager import ClusterPowerManager, ClusterReport, EpochResult
+from repro.cluster.node import ClusterNode, NodeFrontier, NodeFrontierPoint
+
+__all__ = [
+    "ClusterNode",
+    "ClusterPowerManager",
+    "ClusterReport",
+    "EpochResult",
+    "NodeFrontier",
+    "NodeFrontierPoint",
+    "allocation_summary",
+    "greedy_marginal_allocation",
+    "maxmin_allocation",
+    "uniform_allocation",
+]

@@ -1,0 +1,221 @@
+"""Cluster nodes and their application-level power-performance frontiers.
+
+The paper's introduction frames the node-level model as "a key
+ingredient to maximizing performance on a multi-node cluster": system-
+wide power policies "filter down from the system level to individual
+nodes", and each node must make the most of whatever budget it is
+handed.  A :class:`ClusterNode` is one such node — its own simulated
+APU, profiling library, application, and adaptive runtime — plus the
+quantity the cluster-level allocator needs: an **application-level
+frontier** built purely from the node's *predicted* kernel frontiers.
+
+The application-level frontier answers: "if this node's cap were c,
+what timestep rate would it sustain, and what average power would it
+draw?"  It is assembled by sweeping candidate caps over the union of
+per-kernel predicted power levels; at each cap every kernel contributes
+its best predicted-feasible configuration's time and energy.  No
+execution happens during assembly — exactly the property (Section
+III-C) that makes model predictions suitable for higher-level
+schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import AdaptiveModel
+from repro.core.predictor import KernelPrediction
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.hardware.apu import TrinityAPU
+from repro.profiling.library import ProfilingLibrary
+from repro.runtime.adaptive import AdaptiveRuntime
+from repro.runtime.application import Application
+from repro.runtime.trace import ApplicationTrace
+
+__all__ = ["NodeFrontierPoint", "NodeFrontier", "ClusterNode"]
+
+
+@dataclass(frozen=True)
+class NodeFrontierPoint:
+    """One feasible node operating point under some cap.
+
+    Attributes
+    ----------
+    cap_w:
+        The node cap that produces this operating point.
+    expected_power_w:
+        Predicted time-weighted average node power at that cap.
+    rate:
+        Predicted timestep throughput (timesteps per second).
+    """
+
+    cap_w: float
+    expected_power_w: float
+    rate: float
+
+
+class NodeFrontier:
+    """The node's predicted rate-vs-cap curve, sorted by cap ascending.
+
+    Guaranteed monotone: raising the cap never lowers the predicted
+    rate (the scheduler's feasible set only grows).
+    """
+
+    def __init__(self, points: list[NodeFrontierPoint]) -> None:
+        if not points:
+            raise ValueError("node frontier needs at least one point")
+        pts = sorted(points, key=lambda p: p.cap_w)
+        # Enforce rate monotonicity (guards against prediction jitter).
+        cleaned: list[NodeFrontierPoint] = []
+        best = -1.0
+        for p in pts:
+            if p.rate > best:
+                cleaned.append(p)
+                best = p.rate
+        self.points: tuple[NodeFrontierPoint, ...] = tuple(cleaned)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def min_cap_w(self) -> float:
+        """The node's floor: the smallest honourable cap."""
+        return self.points[0].cap_w
+
+    def at_cap(self, cap_w: float) -> NodeFrontierPoint:
+        """The best operating point with ``cap_w`` of budget (the lowest
+        point if even that is infeasible — a node cannot turn off)."""
+        best = self.points[0]
+        for p in self.points:
+            if p.cap_w <= cap_w:
+                best = p
+            else:
+                break
+        return best
+
+    def steps(self) -> list[tuple[float, float, float]]:
+        """Successive frontier increments as ``(extra_power_w,
+        extra_rate, cap_w)`` triples — the allocator's marginal menu."""
+        out = []
+        for a, b in zip(self.points, self.points[1:]):
+            out.append((b.cap_w - a.cap_w, b.rate - a.rate, b.cap_w))
+        return out
+
+
+class ClusterNode:
+    """One node of the simulated cluster.
+
+    Parameters
+    ----------
+    name:
+        Node identifier.
+    application:
+        The application this node runs.
+    model:
+        The machine's trained adaptive model (shared across identical
+        nodes — the offline stage runs once per machine type).
+    apu:
+        The node's machine (defaults to a fresh one seeded by ``seed``).
+    seed:
+        Seed for this node's measurement streams.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        application: Application,
+        model: AdaptiveModel,
+        *,
+        apu: TrinityAPU | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self.application = application
+        self.model = model
+        self.apu = apu if apu is not None else TrinityAPU(seed=seed)
+        self.library = ProfilingLibrary(self.apu, seed=seed)
+        self.runtime = AdaptiveRuntime(model, self.library)
+        self._predictions: dict[str, KernelPrediction] | None = None
+
+    # -- prediction warmup -------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Run each kernel's two sample iterations and cache predictions
+        (the first two application timesteps do this implicitly; the
+        cluster manager calls it eagerly so allocation can precede the
+        first scheduled timestep)."""
+        if self._predictions is not None:
+            return
+        predictions: dict[str, KernelPrediction] = {}
+        for kernel in self.application.kernels:
+            cpu_m = self.library.profile(kernel, CPU_SAMPLE).measurement
+            gpu_m = self.library.profile(kernel, GPU_SAMPLE).measurement
+            predictions[kernel.uid] = self.model.predict_kernel(
+                cpu_m, gpu_m, kernel_uid=kernel.uid
+            )
+        self._predictions = predictions
+        # Share the sample runs with the runtime's own protocol.
+        self.runtime._predictions.update(predictions)
+
+    def predictions(self) -> dict[str, KernelPrediction]:
+        """Cached per-kernel predictions (warming up if needed)."""
+        self.warm_up()
+        assert self._predictions is not None
+        return self._predictions
+
+    # -- application-level frontier -----------------------------------------------
+
+    def frontier(self) -> NodeFrontier:
+        """Assemble the node's predicted rate-vs-cap frontier.
+
+        Candidate caps below the node's *floor* — the largest of the
+        per-kernel minimum predicted powers — are excluded: under such a
+        cap some kernel has no feasible configuration at all, so the
+        node cannot honour it (every kernel must run somewhere,
+        Section III-A).  Consequently every frontier point satisfies
+        ``expected_power_w <= cap_w``.
+        """
+        predictions = self.predictions()
+        floor = max(
+            min(pw for pw, _ in pred.predictions.values())
+            for pred in predictions.values()
+        )
+        candidate_caps = sorted(
+            {
+                round(pw, 6)
+                for pred in predictions.values()
+                for pw, _ in pred.predictions.values()
+                if pw >= floor - 1e-9
+            }
+        )
+        points = []
+        for cap in candidate_caps:
+            total_time = 0.0
+            total_energy = 0.0
+            for pred in predictions.values():
+                best = pred.predicted_frontier().best_under_cap(cap)
+                if best is None:
+                    best = pred.predicted_frontier()[0]
+                t = 1.0 / best.performance
+                total_time += t
+                total_energy += best.power_w * t
+            points.append(
+                NodeFrontierPoint(
+                    cap_w=cap,
+                    expected_power_w=total_energy / total_time,
+                    rate=1.0 / total_time,
+                )
+            )
+        return NodeFrontier(points)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, n_timesteps: int, cap_w: float) -> ApplicationTrace:
+        """Execute the node's application under its allocated cap."""
+        self.warm_up()
+        return self.runtime.run(self.application, n_timesteps, cap_w)

@@ -1,0 +1,81 @@
+"""The paper's contribution: adaptive configuration selection.
+
+Offline (run once per machine): characterize training kernels, derive
+Pareto frontiers, cluster kernels by frontier-order similarity, fit
+per-cluster regressions, and train a classification tree on
+sample-configuration data.  Online (run per new kernel): two sample
+iterations, tree classification, whole-space power/performance
+prediction, predicted Pareto frontier, and scheduling under a power cap.
+
+See Figure 1 of the paper for the data flow; module-level docstrings
+cite the relevant paper sections.
+"""
+
+from repro.core.characterization import (
+    KernelCharacterization,
+    characterization_from_database,
+    characterize_kernel,
+)
+from repro.core.classifier import (
+    SAMPLE_FEATURE_NAMES,
+    ClusterClassifier,
+    sample_features,
+)
+from repro.core.clustering import (
+    DEFAULT_N_CLUSTERS,
+    ClusteringResult,
+    choose_n_clusters,
+    cluster_kernels,
+)
+from repro.core.dissimilarity import dissimilarity_matrix, frontier_dissimilarity
+from repro.core.features import (
+    CPU_FEATURE_NAMES,
+    GPU_FEATURE_NAMES,
+    design_matrix,
+    design_row,
+)
+from repro.core.frontier import FrontierPoint, ParetoFrontier
+from repro.core.io import load_model, model_from_json, model_to_json, save_model
+from repro.core.model import AdaptiveModel, train_model
+from repro.core.predictor import KernelPrediction, OnlinePredictor
+from repro.core.regression import ClusterModels, DeviceModels, fit_cluster_models
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE, SAMPLE_CONFIGS
+from repro.core.scheduler import Scheduler, SchedulerDecision, SchedulingGoal
+
+__all__ = [
+    "AdaptiveModel",
+    "CPU_FEATURE_NAMES",
+    "CPU_SAMPLE",
+    "ClusterClassifier",
+    "ClusterModels",
+    "ClusteringResult",
+    "DEFAULT_N_CLUSTERS",
+    "DeviceModels",
+    "FrontierPoint",
+    "GPU_FEATURE_NAMES",
+    "GPU_SAMPLE",
+    "KernelCharacterization",
+    "KernelPrediction",
+    "OnlinePredictor",
+    "ParetoFrontier",
+    "SAMPLE_CONFIGS",
+    "SAMPLE_FEATURE_NAMES",
+    "Scheduler",
+    "SchedulerDecision",
+    "SchedulingGoal",
+    "characterization_from_database",
+    "characterize_kernel",
+    "choose_n_clusters",
+    "cluster_kernels",
+    "design_matrix",
+    "design_row",
+    "dissimilarity_matrix",
+    "fit_cluster_models",
+    "frontier_dissimilarity",
+    "load_model",
+    "model_from_json",
+    "model_to_json",
+    "sample_features",
+    "save_model",
+    "train_model",
+]

@@ -1,0 +1,90 @@
+"""Per-kernel characterization data assembled from profiles.
+
+The offline stage characterizes each training kernel by profiling it on
+every configuration (paper Section III-B).  A
+:class:`KernelCharacterization` bundles those measurements with the
+derived views the pipeline needs: the kernel's Pareto frontier and its
+sample-configuration anchors (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.frontier import ParetoFrontier
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.hardware.apu import Measurement
+from repro.hardware.config import Configuration
+from repro.profiling.library import ProfilingLibrary
+from repro.profiling.records import ProfileDatabase
+
+__all__ = ["KernelCharacterization", "characterize_kernel", "characterization_from_database"]
+
+
+@dataclass(frozen=True)
+class KernelCharacterization:
+    """All measured data the offline stage holds for one kernel.
+
+    Attributes
+    ----------
+    kernel_uid:
+        The kernel's unique id.
+    measurements:
+        One measurement per configuration (the exhaustive offline
+        profiling pass).
+    """
+
+    kernel_uid: str
+    measurements: Mapping[Configuration, Measurement]
+
+    def __post_init__(self) -> None:
+        if not self.measurements:
+            raise ValueError("characterization needs at least one measurement")
+        for sample in (CPU_SAMPLE, GPU_SAMPLE):
+            if sample not in self.measurements:
+                raise ValueError(
+                    f"characterization of {self.kernel_uid} is missing the "
+                    f"sample configuration {sample.label()}"
+                )
+
+    @property
+    def cpu_sample(self) -> Measurement:
+        """Measurement at the CPU sample configuration (Table II)."""
+        return self.measurements[CPU_SAMPLE]
+
+    @property
+    def gpu_sample(self) -> Measurement:
+        """Measurement at the GPU sample configuration (Table II)."""
+        return self.measurements[GPU_SAMPLE]
+
+    def sample_for(self, cfg: Configuration) -> Measurement:
+        """The same-device sample measurement for a configuration."""
+        return self.gpu_sample if cfg.is_gpu else self.cpu_sample
+
+    def frontier(self) -> ParetoFrontier:
+        """The kernel's measured power-performance Pareto frontier."""
+        return ParetoFrontier.from_measurements(list(self.measurements.values()))
+
+
+def characterize_kernel(
+    library: ProfilingLibrary, kernel
+) -> KernelCharacterization:
+    """Profile a kernel on every configuration and assemble its
+    characterization (the offline data-collection step)."""
+    profiles = library.profile_all_configs(kernel)
+    return KernelCharacterization(
+        kernel_uid=profiles[0].kernel_uid,
+        measurements={p.config: p.measurement for p in profiles},
+    )
+
+
+def characterization_from_database(
+    database: ProfileDatabase, kernel_uid: str
+) -> KernelCharacterization:
+    """Rebuild a characterization from saved profiles (most recent
+    profile wins if a configuration was measured repeatedly)."""
+    measurements: dict[Configuration, Measurement] = {}
+    for p in database.for_kernel(kernel_uid):
+        measurements[p.config] = p.measurement
+    return KernelCharacterization(kernel_uid=kernel_uid, measurements=measurements)

@@ -1,0 +1,123 @@
+"""Cluster assignment for unseen kernels via a classification tree.
+
+Paper Section III-B: because new kernels have only run on the two sample
+configurations (one per device) — not on the full space — they cannot be
+clustered by frontier comparison.  Instead, "we train a classification
+tree on performance counter and power data from training kernels on the
+sample configurations" and use it online (Figure 3 shows an example
+tree with four normalized counter metrics).
+
+Every feature here is observable after the two sample iterations:
+normalized counters from the CPU-sample run, per-domain power at both
+samples, and the GPU/CPU sample performance ratio (both iterations are
+timed, so the ratio is free — and it is the single most informative
+signal about which device the kernel prefers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.characterization import KernelCharacterization
+from repro.hardware.apu import Measurement
+from repro.stats.cart import ClassificationTree
+
+__all__ = ["SAMPLE_FEATURE_NAMES", "sample_features", "ClusterClassifier"]
+
+#: Counter metrics (from the CPU-sample run) used as tree features.
+_COUNTER_FEATURES: tuple[str, ...] = (
+    "l2_miss_per_inst",
+    "stall_frac",
+    "vector_per_inst",
+    "branch_per_inst",
+    "dram_per_cycle",
+    "ipc",
+)
+
+#: All tree feature names, in feature-vector order.
+SAMPLE_FEATURE_NAMES: tuple[str, ...] = _COUNTER_FEATURES + (
+    "cpu_sample_power_w",
+    "gpu_sample_power_w",
+    "log_gpu_cpu_perf_ratio",
+)
+
+
+def sample_features(
+    cpu_sample: Measurement, gpu_sample: Measurement
+) -> np.ndarray:
+    """Feature vector for cluster classification, from the two
+    sample-configuration measurements of one kernel."""
+    missing = [f for f in _COUNTER_FEATURES if f not in cpu_sample.counters]
+    if missing:
+        raise ValueError(f"CPU sample measurement lacks counters: {missing}")
+    counter_part = [float(cpu_sample.counters[f]) for f in _COUNTER_FEATURES]
+    ratio = gpu_sample.performance / cpu_sample.performance
+    return np.array(
+        counter_part
+        + [
+            cpu_sample.total_power_w,
+            gpu_sample.total_power_w,
+            float(np.log(ratio)),
+        ]
+    )
+
+
+@dataclass
+class ClusterClassifier:
+    """A fitted tree mapping sample-run features to a cluster id.
+
+    Parameters
+    ----------
+    max_depth, min_samples_leaf:
+        Tree capacity controls.  The defaults keep trees small, like the
+        paper's Figure 3 example (a four-comparison tree).
+    """
+
+    max_depth: int = 4
+    min_samples_leaf: int = 2
+
+    def __post_init__(self) -> None:
+        self._tree: ClassificationTree | None = None
+
+    def fit(
+        self,
+        characterizations: Sequence[KernelCharacterization],
+        labels: Sequence[int],
+    ) -> "ClusterClassifier":
+        """Train on the sample-run features of the training kernels and
+        their offline cluster labels."""
+        if len(characterizations) != len(labels):
+            raise ValueError("characterizations and labels length mismatch")
+        if not characterizations:
+            raise ValueError("cannot fit classifier on zero kernels")
+        X = np.vstack(
+            [sample_features(c.cpu_sample, c.gpu_sample) for c in characterizations]
+        )
+        self._tree = ClassificationTree(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            feature_names=SAMPLE_FEATURE_NAMES,
+        ).fit(X, np.asarray(labels))
+        return self
+
+    def predict(self, cpu_sample: Measurement, gpu_sample: Measurement) -> int:
+        """Assign an unseen kernel to a cluster from its two sample runs."""
+        if self._tree is None:
+            raise RuntimeError("classifier is not fitted")
+        return int(self._tree.predict(sample_features(cpu_sample, gpu_sample)))
+
+    def render(self) -> str:
+        """Figure 3-style text rendering of the fitted tree."""
+        if self._tree is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._tree.render()
+
+    @property
+    def tree(self) -> ClassificationTree:
+        """The underlying fitted tree (for introspection)."""
+        if self._tree is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._tree

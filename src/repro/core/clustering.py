@@ -1,0 +1,152 @@
+"""Relational clustering of kernels by frontier shape.
+
+Paper Section III-B: from the frontier dissimilarity matrix "we perform
+relational clustering via the R Fossil package.  This groups the kernels
+into clusters according to similarities between the order of
+configurations along the kernels' respective power-performance
+frontiers."  The paper found five clusters optimal for its suite —
+"using fewer clusters resulted in over-generalized models, and using
+more clusters resulted in over-specialized models" — a trade-off probed
+by the cluster-count ablation benchmark.
+
+Two relational clusterers are offered: PAM k-medoids (default) and
+average-linkage agglomerative.  Both consume only the dissimilarity
+matrix, never coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.core.dissimilarity import dissimilarity_matrix
+from repro.core.frontier import ParetoFrontier
+from repro.stats.agglomerative import average_linkage_labels
+from repro.stats.kmedoids import pam, silhouette_score
+
+__all__ = ["ClusteringResult", "cluster_kernels", "choose_n_clusters"]
+
+#: The paper's empirically chosen cluster count.
+DEFAULT_N_CLUSTERS: int = 5
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of clustering the training kernels.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per kernel uid.
+    n_clusters:
+        Number of clusters requested.
+    silhouette:
+        Mean silhouette width of the clustering (NaN for one cluster).
+    medoid_uids:
+        Medoid kernel per cluster (PAM only; empty for agglomerative).
+    method:
+        Which relational clusterer produced the result.
+    """
+
+    labels: Mapping[str, int]
+    n_clusters: int
+    silhouette: float
+    medoid_uids: tuple[str, ...]
+    method: str
+
+    def members(self, cluster: int) -> list[str]:
+        """Kernel uids assigned to one cluster."""
+        return [uid for uid, c in self.labels.items() if c == cluster]
+
+    def sizes(self) -> list[int]:
+        """Cluster sizes, indexed by cluster id."""
+        return [len(self.members(c)) for c in range(self.n_clusters)]
+
+
+def cluster_kernels(
+    frontiers: Mapping[str, ParetoFrontier],
+    *,
+    n_clusters: int = DEFAULT_N_CLUSTERS,
+    method: Literal["pam", "average"] = "pam",
+    composition_weight: float | None = None,
+) -> ClusteringResult:
+    """Group kernels into clusters by frontier similarity.
+
+    Parameters
+    ----------
+    frontiers:
+        Per-kernel Pareto frontiers, keyed by kernel uid (insertion
+        order defines matrix order).
+    n_clusters:
+        Cluster count (paper default: 5).
+    method:
+        ``"pam"`` (k-medoids, default) or ``"average"`` linkage.
+    composition_weight:
+        Blend between frontier-composition and frontier-order terms in
+        the dissimilarity (see
+        :func:`repro.core.dissimilarity.frontier_dissimilarity`);
+        ``None`` uses the package default.
+    """
+    uids = list(frontiers.keys())
+    if n_clusters < 1 or n_clusters > len(uids):
+        raise ValueError(
+            f"n_clusters={n_clusters} invalid for {len(uids)} kernels"
+        )
+    kwargs = {}
+    if composition_weight is not None:
+        kwargs["composition_weight"] = composition_weight
+    D = dissimilarity_matrix(frontiers, **kwargs)
+
+    if method == "pam":
+        result = pam(D, n_clusters)
+        labels = result.labels
+        medoids = tuple(uids[m] for m in result.medoids)
+    elif method == "average":
+        labels = average_linkage_labels(D, n_clusters)
+        medoids = ()
+    else:
+        raise ValueError(f"unknown clustering method {method!r}")
+
+    sil = silhouette_score(D, labels) if n_clusters > 1 else float("nan")
+    return ClusteringResult(
+        labels={uid: int(c) for uid, c in zip(uids, labels)},
+        n_clusters=n_clusters,
+        silhouette=float(sil) if not np.isnan(sil) else float("nan"),
+        medoid_uids=medoids,
+        method=method,
+    )
+
+
+def choose_n_clusters(
+    frontiers: Mapping[str, ParetoFrontier],
+    *,
+    k_range: tuple[int, int] = (2, 8),
+    method: Literal["pam", "average"] = "pam",
+    composition_weight: float | None = None,
+) -> int:
+    """Pick a cluster count by silhouette over a candidate range.
+
+    The paper chose its five clusters "empirically" by predictive
+    ability; silhouette is the standard unsupervised proxy exposed here
+    for users without a validation suite.  Ties break toward fewer
+    clusters (the more general model).
+    """
+    lo, hi = k_range
+    if lo < 2 or hi < lo:
+        raise ValueError(f"invalid k_range {k_range}")
+    hi = min(hi, len(frontiers) - 1)
+    if hi < lo:
+        raise ValueError("too few kernels for the requested k_range")
+    best_k, best_sil = lo, -np.inf
+    for k in range(lo, hi + 1):
+        result = cluster_kernels(
+            frontiers,
+            n_clusters=k,
+            method=method,
+            composition_weight=composition_weight,
+        )
+        if result.silhouette > best_sil + 1e-12:
+            best_k, best_sil = k, result.silhouette
+    return best_k

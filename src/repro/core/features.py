@@ -1,0 +1,111 @@
+"""Design matrices over the machine configuration space.
+
+The paper's regression models take "the configuration variables
+(frequency, number of cores, etc.) and their first-order interactions
+(i.e. frequency * cores)" as regressors (Section III-B).  Per device
+those are:
+
+* CPU configurations — CPU frequency, thread count, and
+  frequency x threads;
+* GPU configurations — GPU frequency, host CPU frequency, and
+  GPU frequency x host frequency (the host term captures launch/driver
+  overhead, Table I).
+
+All variables are normalized to their machine maxima so coefficients
+are comparable across features and numerically well scaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import pstates
+from repro.hardware.config import Configuration, Device
+
+__all__ = [
+    "CPU_FEATURE_NAMES",
+    "CPU_POWER_FEATURE_NAMES",
+    "GPU_FEATURE_NAMES",
+    "GPU_POWER_FEATURE_NAMES",
+    "design_row",
+    "design_matrix",
+    "power_design_row",
+]
+
+#: Regressor names for CPU-device performance models.
+CPU_FEATURE_NAMES: tuple[str, ...] = ("cpu_freq", "threads", "cpu_freq*threads")
+
+#: Regressor names for GPU-device performance models.
+GPU_FEATURE_NAMES: tuple[str, ...] = ("gpu_freq", "host_freq", "gpu_freq*host_freq")
+
+#: Regressor names for CPU-device power models (voltage-aware).
+CPU_POWER_FEATURE_NAMES: tuple[str, ...] = (
+    "cpu_freq",
+    "threads",
+    "cpu_freq*threads",
+    "v_sq",
+    "threads*freq*v_sq",
+)
+
+#: Regressor names for GPU-device power models (voltage-aware).
+GPU_POWER_FEATURE_NAMES: tuple[str, ...] = (
+    "gpu_freq",
+    "host_freq",
+    "gpu_freq*host_freq",
+    "gpu_v_sq",
+    "gpu_freq*gpu_v_sq",
+    "host_freq*host_v_sq",
+)
+
+
+def design_row(cfg: Configuration) -> np.ndarray:
+    """The regressor vector of one configuration (device-specific)."""
+    if cfg.device is Device.CPU:
+        f = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+        n = cfg.n_threads / pstates.N_CORES
+        return np.array([f, n, f * n])
+    g = cfg.gpu_freq_ghz / pstates.GPU_MAX_FREQ_GHZ
+    h = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+    return np.array([g, h, g * h])
+
+
+def power_design_row(cfg: Configuration) -> np.ndarray:
+    """The regressor vector for *power* models.
+
+    Power is physically linear in voltage-squared terms (static leakage
+    ~ :math:`V^2`, per-core dynamic ~ :math:`n f V^2`), and the
+    machine's voltage/frequency curves are known offline machine
+    characterization — so the power design includes them alongside the
+    raw configuration variables.  This is still the paper's "linear
+    model over configuration variables and first-order interactions";
+    the variables are simply expressed in the units power is linear in.
+    """
+    if cfg.device is Device.CPU:
+        f = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+        n = cfg.n_threads / pstates.N_CORES
+        v = pstates.cpu_voltage(cfg.cpu_freq_ghz) / pstates.cpu_voltage(
+            pstates.CPU_MAX_FREQ_GHZ
+        )
+        v2 = v * v
+        return np.array([f, n, f * n, v2, n * f * v2])
+    g = cfg.gpu_freq_ghz / pstates.GPU_MAX_FREQ_GHZ
+    h = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+    vg = pstates.gpu_voltage(cfg.gpu_freq_ghz) / pstates.gpu_voltage(
+        pstates.GPU_MAX_FREQ_GHZ
+    )
+    vh = pstates.cpu_voltage(cfg.cpu_freq_ghz) / pstates.cpu_voltage(
+        pstates.CPU_MAX_FREQ_GHZ
+    )
+    vg2, vh2 = vg * vg, vh * vh
+    return np.array([g, h, g * h, vg2, g * vg2, h * vh2])
+
+
+def design_matrix(configs: list[Configuration]) -> np.ndarray:
+    """Stack :func:`design_row` over configurations (all must share a
+    device, since CPU and GPU features differ)."""
+    if not configs:
+        raise ValueError("need at least one configuration")
+    devices = {c.device for c in configs}
+    if len(devices) != 1:
+        raise ValueError("design_matrix requires configurations of one device")
+    return np.vstack([design_row(c) for c in configs])

@@ -1,0 +1,147 @@
+"""Power-performance Pareto frontiers.
+
+"Power-performance Pareto frontiers play a key role in our modeling
+process" (paper Section III-B): per kernel, a configuration is on the
+frontier iff no other configuration delivers at least the same
+performance for no more power.  Figure 2 / Table I show an example
+frontier for LULESH's ``CalcFBHourglassForce``; Figure 7 shows LU
+Small's.  Frontiers are consumed three ways:
+
+* clustering — kernels are grouped by the *order* of configurations
+  along their frontiers (:mod:`repro.core.dissimilarity`);
+* the oracle — "the majority of configurations would never be selected"
+  because frontier points dominate them;
+* scheduling — a (predicted) frontier answers "best configuration under
+  this power cap" in one binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.hardware.apu import Measurement
+from repro.hardware.config import Configuration
+
+__all__ = ["FrontierPoint", "ParetoFrontier"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (configuration, power, performance) triple."""
+
+    config: Configuration
+    power_w: float
+    performance: float
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError(f"power_w={self.power_w} must be positive")
+        if self.performance <= 0:
+            raise ValueError(f"performance={self.performance} must be positive")
+
+
+class ParetoFrontier:
+    """The set of non-dominated (power, performance) configurations.
+
+    Points are stored sorted by ascending power; along the frontier
+    performance is strictly increasing (a point matching another's
+    performance at higher power is dominated and removed).
+    """
+
+    def __init__(self, points: Iterable[FrontierPoint]) -> None:
+        candidates = sorted(points, key=lambda p: (p.power_w, -p.performance))
+        if not candidates:
+            raise ValueError("frontier needs at least one point")
+        frontier: list[FrontierPoint] = []
+        best_perf = 0.0
+        for p in candidates:
+            if p.performance > best_perf:
+                frontier.append(p)
+                best_perf = p.performance
+        self._points: tuple[FrontierPoint, ...] = tuple(frontier)
+        self._powers: list[float] = [p.power_w for p in frontier]
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def from_measurements(measurements: Sequence[Measurement]) -> "ParetoFrontier":
+        """Derive a frontier from measured executions of one kernel."""
+        return ParetoFrontier(
+            FrontierPoint(
+                config=m.config,
+                power_w=m.total_power_w,
+                performance=m.performance,
+            )
+            for m in measurements
+        )
+
+    @staticmethod
+    def from_predictions(
+        predictions: dict[Configuration, tuple[float, float]],
+    ) -> "ParetoFrontier":
+        """Derive a frontier from ``{config: (power_w, performance)}``."""
+        return ParetoFrontier(
+            FrontierPoint(config=cfg, power_w=pw, performance=perf)
+            for cfg, (pw, perf) in predictions.items()
+        )
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[FrontierPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, i: int) -> FrontierPoint:
+        return self._points[i]
+
+    @property
+    def points(self) -> tuple[FrontierPoint, ...]:
+        """Frontier points, ascending in power."""
+        return self._points
+
+    def configs(self) -> list[Configuration]:
+        """Frontier configurations, in ascending-power order — the
+        ordering the clustering stage compares across kernels."""
+        return [p.config for p in self._points]
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def max_performance(self) -> float:
+        """The frontier's best performance (its top point)."""
+        return self._points[-1].performance
+
+    @property
+    def min_power_w(self) -> float:
+        """The frontier's lowest power (its bottom point)."""
+        return self._points[0].power_w
+
+    def best_under_cap(self, power_cap_w: float) -> FrontierPoint | None:
+        """Highest-performance frontier point with power <= the cap, or
+        ``None`` if even the lowest-power point exceeds it."""
+        i = bisect.bisect_right(self._powers, power_cap_w)
+        if i == 0:
+            return None
+        return self._points[i - 1]
+
+    def normalized(self) -> list[tuple[Configuration, float, float]]:
+        """Frontier as (config, power_w, performance / max performance),
+        the presentation of the paper's Table I."""
+        top = self.max_performance
+        return [(p.config, p.power_w, p.performance / top) for p in self._points]
+
+    def dominates(self, power_w: float, performance: float) -> bool:
+        """Whether some frontier point weakly dominates the given point
+        (no more power, at least the performance, better in one)."""
+        for p in self._points:
+            if p.power_w > power_w:
+                break
+            if p.performance >= performance and (
+                p.power_w < power_w or p.performance > performance
+            ):
+                return True
+        return False

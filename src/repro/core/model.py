@@ -1,0 +1,242 @@
+"""The adaptive configuration-selection model (offline training).
+
+This is the paper's primary contribution assembled end to end
+(Figure 1's offline box):
+
+1. characterize every training kernel on all configurations
+   (:mod:`repro.core.characterization`);
+2. derive per-kernel Pareto frontiers (:mod:`repro.core.frontier`);
+3. build the frontier-order dissimilarity matrix and relationally
+   cluster the kernels (:mod:`repro.core.dissimilarity`,
+   :mod:`repro.core.clustering`);
+4. fit per-cluster performance-ratio and power regressions
+   (:mod:`repro.core.regression`);
+5. train the classification tree that assigns unseen kernels to
+   clusters from their sample-configuration runs
+   (:mod:`repro.core.classifier`).
+
+The resulting :class:`AdaptiveModel` performs the online stage
+(Figure 1's online box) in :meth:`AdaptiveModel.predict_kernel`: given
+only the two sample measurements of a new kernel, it returns predicted
+power and performance for *every* machine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.characterization import (
+    KernelCharacterization,
+    characterize_kernel,
+)
+from repro.core.classifier import ClusterClassifier
+from repro.core.clustering import (
+    DEFAULT_N_CLUSTERS,
+    ClusteringResult,
+    cluster_kernels,
+)
+from repro.core.features import design_row, power_design_row
+from repro.core.predictor import KernelPrediction
+from repro.core.regression import ClusterModels, Transform, fit_cluster_models
+from repro.hardware.apu import Measurement
+from repro.hardware.config import ConfigSpace
+from repro.profiling.library import ProfilingLibrary
+
+import numpy as np
+
+__all__ = ["AdaptiveModel", "train_model"]
+
+
+@dataclass(frozen=True)
+class AdaptiveModel:
+    """A trained offline model ready for online prediction.
+
+    Attributes
+    ----------
+    clustering:
+        The offline clustering of the training kernels.
+    cluster_models:
+        Fitted regression models per cluster id.
+    classifier:
+        The sample-run classification tree.
+    config_space:
+        The machine configuration space predictions cover.
+    """
+
+    clustering: ClusteringResult
+    cluster_models: Mapping[int, ClusterModels]
+    classifier: ClusterClassifier
+    config_space: ConfigSpace
+
+    def __post_init__(self) -> None:
+        # Precompute per-device design matrices over the configuration
+        # space so the online stage is two matrix-vector products
+        # (paper Section IV-C's overhead argument).
+        cpu = self.config_space.cpu_configs()
+        gpu = self.config_space.gpu_configs()
+        object.__setattr__(self, "_cpu_configs", cpu)
+        object.__setattr__(self, "_gpu_configs", gpu)
+        object.__setattr__(
+            self, "_X_perf_cpu", np.vstack([design_row(c) for c in cpu])
+        )
+        object.__setattr__(
+            self, "_X_perf_gpu", np.vstack([design_row(c) for c in gpu])
+        )
+        object.__setattr__(
+            self, "_X_power_cpu", np.vstack([power_design_row(c) for c in cpu])
+        )
+        object.__setattr__(
+            self, "_X_power_gpu", np.vstack([power_design_row(c) for c in gpu])
+        )
+
+    @staticmethod
+    def train(
+        characterizations: Sequence[KernelCharacterization],
+        *,
+        n_clusters: int = DEFAULT_N_CLUSTERS,
+        clustering_method: str = "pam",
+        composition_weight: float | None = None,
+        transform: Transform = "none",
+        power_anchor: bool = True,
+        ridge: float = 0.0,
+        tree_max_depth: int = 4,
+        tree_min_samples_leaf: int = 2,
+        config_space: ConfigSpace | None = None,
+    ) -> "AdaptiveModel":
+        """Run the full offline pipeline on training characterizations.
+
+        Parameters mirror the paper's knobs: ``n_clusters`` (paper: 5),
+        the relational clustering method, the optional future-work
+        variance-stabilizing ``transform``, the power-anchor extension,
+        and the tree's capacity.
+        """
+        if not characterizations:
+            raise ValueError("cannot train on zero kernels")
+        uids = [c.kernel_uid for c in characterizations]
+        if len(set(uids)) != len(uids):
+            raise ValueError("duplicate kernel uids in training set")
+
+        frontiers = {c.kernel_uid: c.frontier() for c in characterizations}
+        clustering = cluster_kernels(
+            frontiers,
+            n_clusters=n_clusters,
+            method=clustering_method,
+            composition_weight=composition_weight,
+        )
+
+        by_cluster: dict[int, list[KernelCharacterization]] = {}
+        for c in characterizations:
+            by_cluster.setdefault(clustering.labels[c.kernel_uid], []).append(c)
+        cluster_models = {
+            cluster: fit_cluster_models(
+                members,
+                transform=transform,
+                power_anchor=power_anchor,
+                ridge=ridge,
+            )
+            for cluster, members in sorted(by_cluster.items())
+        }
+
+        classifier = ClusterClassifier(
+            max_depth=tree_max_depth, min_samples_leaf=tree_min_samples_leaf
+        ).fit(
+            characterizations,
+            [clustering.labels[c.kernel_uid] for c in characterizations],
+        )
+        return AdaptiveModel(
+            clustering=clustering,
+            cluster_models=cluster_models,
+            classifier=classifier,
+            config_space=config_space if config_space is not None else ConfigSpace(),
+        )
+
+    # -- online stage ------------------------------------------------------------
+
+    def predict_kernel(
+        self,
+        cpu_sample: Measurement,
+        gpu_sample: Measurement,
+        *,
+        kernel_uid: str = "unknown",
+        with_uncertainty: bool = False,
+    ) -> KernelPrediction:
+        """Predict power and performance for every configuration of an
+        unseen kernel, from its two sample measurements only.
+
+        With ``with_uncertainty=True`` the prediction also carries
+        per-configuration prediction standard deviations (paper
+        Section VI), enabling risk-averse scheduling.
+        """
+        cluster = self.classifier.predict(cpu_sample, gpu_sample)
+        models = self.cluster_models[cluster]
+        cpu_power = models.cpu.predict_power_from_matrix(
+            self._X_power_cpu, cpu_sample.total_power_w
+        )
+        cpu_perf = models.cpu.predict_performance_from_matrix(
+            self._X_perf_cpu, cpu_sample.performance
+        )
+        gpu_power = models.gpu.predict_power_from_matrix(
+            self._X_power_gpu, gpu_sample.total_power_w
+        )
+        gpu_perf = models.gpu.predict_performance_from_matrix(
+            self._X_perf_gpu, gpu_sample.performance
+        )
+        predictions = {
+            cfg: (float(pw), float(pf))
+            for cfg, pw, pf in zip(self._cpu_configs, cpu_power, cpu_perf)
+        }
+        predictions.update(
+            (cfg, (float(pw), float(pf)))
+            for cfg, pw, pf in zip(self._gpu_configs, gpu_power, gpu_perf)
+        )
+
+        uncertainties = None
+        if with_uncertainty:
+            cpu_power_std = models.cpu.predict_power_std_from_matrix(
+                self._X_power_cpu, cpu_sample.total_power_w
+            )
+            cpu_perf_std = models.cpu.predict_performance_std_from_matrix(
+                self._X_perf_cpu, cpu_sample.performance
+            )
+            gpu_power_std = models.gpu.predict_power_std_from_matrix(
+                self._X_power_gpu, gpu_sample.total_power_w
+            )
+            gpu_perf_std = models.gpu.predict_performance_std_from_matrix(
+                self._X_perf_gpu, gpu_sample.performance
+            )
+            uncertainties = {
+                cfg: (float(pw), float(pf))
+                for cfg, pw, pf in zip(
+                    self._cpu_configs, cpu_power_std, cpu_perf_std
+                )
+            }
+            uncertainties.update(
+                (cfg, (float(pw), float(pf)))
+                for cfg, pw, pf in zip(
+                    self._gpu_configs, gpu_power_std, gpu_perf_std
+                )
+            )
+
+        return KernelPrediction(
+            kernel_uid=kernel_uid,
+            cluster=cluster,
+            predictions=predictions,
+            cpu_sample=cpu_sample,
+            gpu_sample=gpu_sample,
+            uncertainties=uncertainties,
+        )
+
+
+def train_model(
+    library: ProfilingLibrary,
+    kernels: Sequence,
+    **train_kwargs,
+) -> AdaptiveModel:
+    """Convenience wrapper: characterize ``kernels`` through ``library``
+    (profiling each on every configuration) and train a model.
+
+    Accepts the same keyword arguments as :meth:`AdaptiveModel.train`.
+    """
+    characterizations = [characterize_kernel(library, k) for k in kernels]
+    return AdaptiveModel.train(characterizations, **train_kwargs)

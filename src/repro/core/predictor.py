@@ -1,0 +1,112 @@
+"""Online prediction: two sample iterations to a full predicted frontier.
+
+Paper Section III-C: "we use the first two iterations of the kernel to
+run on the sample configurations, with one iteration on each device
+(CPU and GPU).  Once the classification tree selects a cluster, we apply
+the selected cluster's models to predict power and performance for the
+new kernel at all machine configurations across all available devices.
+From the predicted power and performance for all configurations for a
+new kernel, we derive a predicted Pareto frontier."
+
+:class:`KernelPrediction` is that output; :class:`OnlinePredictor` is
+the runtime driver that produces it from a live kernel via the
+profiling library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.frontier import ParetoFrontier
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.hardware.apu import Measurement
+from repro.hardware.config import Configuration
+from repro.profiling.library import ProfilingLibrary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import AdaptiveModel
+
+__all__ = ["KernelPrediction", "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class KernelPrediction:
+    """Model output for one kernel: predictions over the whole space.
+
+    Attributes
+    ----------
+    kernel_uid:
+        Which kernel was predicted.
+    cluster:
+        Cluster the classification tree assigned.
+    predictions:
+        ``{config: (predicted power W, predicted performance)}`` for
+        every machine configuration.
+    cpu_sample, gpu_sample:
+        The two sample measurements the prediction is anchored to.
+    uncertainties:
+        Optional ``{config: (power std W, performance std)}`` prediction
+        standard deviations (the paper's Section VI confidence idea) —
+        consumed by ``Scheduler.select(..., risk_averse=True)``.
+    """
+
+    kernel_uid: str
+    cluster: int
+    predictions: Mapping[Configuration, tuple[float, float]]
+    cpu_sample: Measurement
+    gpu_sample: Measurement
+    uncertainties: Mapping[Configuration, tuple[float, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.predictions:
+            raise ValueError("prediction must cover at least one configuration")
+        if self.uncertainties is not None and set(self.uncertainties) != set(
+            self.predictions
+        ):
+            raise ValueError("uncertainties must cover the same configurations")
+
+    def predicted_frontier(self) -> ParetoFrontier:
+        """Pareto frontier of the predicted (power, performance) points."""
+        return ParetoFrontier.from_predictions(dict(self.predictions))
+
+    def predicted_power_w(self, cfg: Configuration) -> float:
+        """Predicted power of one configuration (watts)."""
+        return self.predictions[cfg][0]
+
+    def predicted_performance(self, cfg: Configuration) -> float:
+        """Predicted performance of one configuration."""
+        return self.predictions[cfg][1]
+
+
+class OnlinePredictor:
+    """Runtime driver of the online stage.
+
+    Runs a kernel's first two iterations on the sample configurations
+    (through the profiling library, so the runs land in the measurement
+    history), classifies the kernel, and returns the model's
+    whole-space prediction.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`repro.core.model.AdaptiveModel`.
+    library:
+        The profiling library to execute and record the sample runs.
+    """
+
+    def __init__(self, model: "AdaptiveModel", library: ProfilingLibrary) -> None:
+        self.model = model
+        self.library = library
+
+    def predict(self, kernel, *, with_uncertainty: bool = False) -> KernelPrediction:
+        """Run the two sample iterations of ``kernel`` and predict power
+        and performance for every configuration."""
+        cpu_profile = self.library.profile(kernel, CPU_SAMPLE)
+        gpu_profile = self.library.profile(kernel, GPU_SAMPLE)
+        return self.model.predict_kernel(
+            cpu_profile.measurement,
+            gpu_profile.measurement,
+            kernel_uid=cpu_profile.kernel_uid,
+            with_uncertainty=with_uncertainty,
+        )

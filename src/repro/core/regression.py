@@ -1,0 +1,297 @@
+"""Per-cluster power and performance regression models.
+
+Paper Section III-B defines two model families per cluster:
+
+* **performance** — a ratio to the same-device sample configuration,
+  with no intercept::
+
+      P_perf = (a1*x1 + ... + an*xn) * S_perf
+
+  where ``S_perf`` is the kernel's measured performance on the sample
+  configuration of the relevant device, and the ``x_i`` are the
+  configuration variables and their first-order interactions
+  (:mod:`repro.core.features`);
+
+* **power** — predicted directly, with intercept::
+
+      P_power = b0 + b1*x1 + ... + bn*xn
+
+  The power design uses voltage-aware configuration variables
+  (:func:`repro.core.features.power_design_row`).  We additionally
+  include the kernel's measured *sample-configuration power* as a
+  regressor, plus its first-order interactions with the configuration
+  variables (``power_anchor``, on by default).  Both sample iterations
+  measure power, so this uses no information beyond the paper's
+  two-iteration budget, and it lets one cluster model serve kernels
+  whose absolute power levels differ (the paper reports
+  best-configuration power from 19 W to 55 W across kernels): the
+  anchor carries each kernel's activity level, and the interactions let
+  that level scale the dynamic-power terms.  The ablation benchmark
+  ``test_bench_ablation_anchor`` quantifies the effect;
+  ``power_anchor=False`` recovers the narrowest literal reading of the
+  paper.
+
+As the paper notes, these linear models exist "to rank configurations in
+performance and power in a computationally efficient manner" — ranking
+quality, not absolute accuracy, is what the scheduler needs.
+
+The optional ``transform="log"`` applies the variance-stabilizing
+transformation the paper lists as future work (Section VI): targets are
+fitted in log space and predictions exponentiated, de-emphasizing the
+extremes of the fitted range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.characterization import KernelCharacterization
+from repro.core.features import (
+    CPU_FEATURE_NAMES,
+    CPU_POWER_FEATURE_NAMES,
+    GPU_FEATURE_NAMES,
+    GPU_POWER_FEATURE_NAMES,
+    design_row,
+    power_design_row,
+)
+from repro.hardware.config import Configuration, Device
+from repro.stats.ols import OLSModel, fit_ols
+
+__all__ = ["DeviceModels", "ClusterModels", "fit_cluster_models"]
+
+#: Scale (watts) normalizing the power-anchor regressor.
+_POWER_ANCHOR_SCALE_W: float = 30.0
+
+Transform = Literal["none", "log"]
+
+
+@dataclass(frozen=True)
+class DeviceModels:
+    """The fitted (performance-ratio, power) model pair for one device."""
+
+    device: Device
+    perf_ratio: OLSModel
+    power: OLSModel
+    transform: Transform
+    power_anchor: bool
+
+    def predict_performance(self, cfg: Configuration, sample_perf: float) -> float:
+        """Predicted absolute performance of ``cfg`` given the kernel's
+        measured sample performance on this device."""
+        self._check_device(cfg)
+        ratio = float(self.perf_ratio.predict(design_row(cfg))[0])
+        if self.transform == "log":
+            ratio = float(np.exp(ratio))
+        return max(ratio, 1e-9) * sample_perf
+
+    def predict_power(self, cfg: Configuration, sample_power_w: float) -> float:
+        """Predicted total power (watts) of ``cfg`` given the kernel's
+        measured sample power on this device."""
+        self._check_device(cfg)
+        x = _power_features(cfg, sample_power_w, self.power_anchor)
+        p = float(self.power.predict(x)[0])
+        if self.transform == "log":
+            p = float(np.exp(p))
+        return max(p, 1e-6)
+
+    def _check_device(self, cfg: Configuration) -> None:
+        if cfg.device is not self.device:
+            raise ValueError(
+                f"model for {self.device} applied to {cfg.device} configuration"
+            )
+
+    # -- vectorized prediction over precomputed design matrices --------------
+    # The paper's online-overhead argument (Section IV-C): "model
+    # application requires a simple matrix-vector product of the
+    # configuration space with the model coefficients".  These batch
+    # entry points are that product; AdaptiveModel precomputes the
+    # design matrices once per machine.
+
+    def predict_performance_from_matrix(
+        self, X: np.ndarray, sample_perf: float
+    ) -> np.ndarray:
+        """Batch :meth:`predict_performance` over a precomputed
+        performance design matrix (rows = configurations)."""
+        ratios = self.perf_ratio.predict(X)
+        if self.transform == "log":
+            ratios = np.exp(ratios)
+        return np.maximum(ratios, 1e-9) * sample_perf
+
+    def predict_power_from_matrix(
+        self, X_power: np.ndarray, sample_power_w: float
+    ) -> np.ndarray:
+        """Batch :meth:`predict_power` over a precomputed power design
+        matrix (rows = configurations, anchor columns appended here)."""
+        p = self.power.predict(self._anchored(X_power, sample_power_w))
+        if self.transform == "log":
+            p = np.exp(p)
+        return np.maximum(p, 1e-6)
+
+    def _anchored(self, X_power: np.ndarray, sample_power_w: float) -> np.ndarray:
+        if not self.power_anchor:
+            return X_power
+        s = sample_power_w / _POWER_ANCHOR_SCALE_W
+        n = X_power.shape[0]
+        return np.hstack([X_power, np.full((n, 1), s), s * X_power])
+
+    # -- prediction uncertainty (paper Section VI) ----------------------------
+
+    def predict_performance_std_from_matrix(
+        self, X: np.ndarray, sample_perf: float
+    ) -> np.ndarray:
+        """Prediction standard deviation of the performance estimates.
+
+        For the log transform the delta method is applied:
+        ``std(exp(y)) ~ exp(mean) * std(y)``.
+        """
+        std = self.perf_ratio.predict_std(X)
+        if self.transform == "log":
+            mean = np.exp(self.perf_ratio.predict(X))
+            std = mean * std
+        return std * sample_perf
+
+    def predict_power_std_from_matrix(
+        self, X_power: np.ndarray, sample_power_w: float
+    ) -> np.ndarray:
+        """Prediction standard deviation of the power estimates (watts)."""
+        Xa = self._anchored(X_power, sample_power_w)
+        std = self.power.predict_std(Xa)
+        if self.transform == "log":
+            mean = np.exp(self.power.predict(Xa))
+            std = mean * std
+        return std
+
+
+@dataclass(frozen=True)
+class ClusterModels:
+    """The four fitted regressions of one kernel cluster."""
+
+    cpu: DeviceModels
+    gpu: DeviceModels
+
+    def for_device(self, device: Device) -> DeviceModels:
+        """The model pair serving one device."""
+        return self.gpu if device is Device.GPU else self.cpu
+
+    def predict(
+        self,
+        cfg: Configuration,
+        *,
+        sample_perf_cpu: float,
+        sample_perf_gpu: float,
+        sample_power_cpu_w: float,
+        sample_power_gpu_w: float,
+    ) -> tuple[float, float]:
+        """Predicted ``(power_w, performance)`` of one configuration,
+        anchored to the kernel's two sample measurements."""
+        if cfg.device is Device.GPU:
+            return (
+                self.gpu.predict_power(cfg, sample_power_gpu_w),
+                self.gpu.predict_performance(cfg, sample_perf_gpu),
+            )
+        return (
+            self.cpu.predict_power(cfg, sample_power_cpu_w),
+            self.cpu.predict_performance(cfg, sample_perf_cpu),
+        )
+
+
+def _power_features(
+    cfg: Configuration, sample_power_w: float, power_anchor: bool
+) -> np.ndarray:
+    """Power-model regressors: voltage-aware configuration variables,
+    optionally joined by the sample-power anchor and its first-order
+    interactions with every configuration variable."""
+    x = power_design_row(cfg)
+    if not power_anchor:
+        return x
+    s = sample_power_w / _POWER_ANCHOR_SCALE_W
+    return np.concatenate([x, [s], s * x])
+
+
+def _power_feature_names(device: Device, power_anchor: bool) -> tuple[str, ...]:
+    base = (
+        GPU_POWER_FEATURE_NAMES if device is Device.GPU else CPU_POWER_FEATURE_NAMES
+    )
+    if not power_anchor:
+        return base
+    return base + ("sample_power",) + tuple(f"sample_power*{n}" for n in base)
+
+
+def _fit_device(
+    chars: Sequence[KernelCharacterization],
+    device: Device,
+    transform: Transform,
+    power_anchor: bool,
+    ridge: float,
+) -> DeviceModels:
+    X_perf, y_perf, X_power, y_power = [], [], [], []
+    for c in chars:
+        sample = c.gpu_sample if device is Device.GPU else c.cpu_sample
+        s_perf = sample.performance
+        s_power = sample.total_power_w
+        for cfg, m in c.measurements.items():
+            if cfg.device is not device:
+                continue
+            ratio = m.performance / s_perf
+            X_perf.append(design_row(cfg))
+            y_perf.append(np.log(ratio) if transform == "log" else ratio)
+            X_power.append(_power_features(cfg, s_power, power_anchor))
+            y_power.append(
+                np.log(m.total_power_w) if transform == "log" else m.total_power_w
+            )
+
+    names = GPU_FEATURE_NAMES if device is Device.GPU else CPU_FEATURE_NAMES
+    power_names = _power_feature_names(device, power_anchor)
+    perf_model = fit_ols(
+        np.asarray(X_perf),
+        np.asarray(y_perf),
+        intercept=False,
+        feature_names=names,
+        ridge=ridge,
+    )
+    power_model = fit_ols(
+        np.asarray(X_power),
+        np.asarray(y_power),
+        intercept=True,
+        feature_names=power_names,
+        ridge=ridge,
+    )
+    return DeviceModels(
+        device=device,
+        perf_ratio=perf_model,
+        power=power_model,
+        transform=transform,
+        power_anchor=power_anchor,
+    )
+
+
+def fit_cluster_models(
+    chars: Sequence[KernelCharacterization],
+    *,
+    transform: Transform = "none",
+    power_anchor: bool = True,
+    ridge: float = 0.0,
+) -> ClusterModels:
+    """Fit one cluster's regressions from its member kernels'
+    characterizations (pooled across kernels, per device).
+
+    ``ridge`` adds L2 regularization to both model families — useful
+    when a cluster is small (few kernels pool few rows) and the
+    interaction columns would otherwise overfit measurement noise.
+
+    Raises
+    ------
+    ValueError
+        If ``chars`` is empty or a device has no measurements.
+    """
+    if not chars:
+        raise ValueError("cannot fit cluster models without kernels")
+    if transform not in ("none", "log"):
+        raise ValueError(f"unknown transform {transform!r}")
+    return ClusterModels(
+        cpu=_fit_device(chars, Device.CPU, transform, power_anchor, ridge),
+        gpu=_fit_device(chars, Device.GPU, transform, power_anchor, ridge),
+    )

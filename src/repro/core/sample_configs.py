@@ -1,0 +1,37 @@
+"""The paper's sample configurations (Table II).
+
+When an unknown kernel is encountered, its first two iterations run on
+one *sample configuration per device* — chosen "to match common
+execution configurations in environments without power constraints":
+
+=======  =============  ===========  =============
+Device   CPU frequency  CPU threads  GPU frequency
+=======  =============  ===========  =============
+CPU      3.7 GHz        4            311 MHz (idle)
+GPU      3.7 GHz        1 (host)     819 MHz
+=======  =============  ===========  =============
+
+Everything the online stage knows about a new kernel comes from these
+two runs: its performance and power on each, and the performance
+counters recorded during them.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import pstates
+from repro.hardware.config import Configuration
+
+__all__ = ["CPU_SAMPLE", "GPU_SAMPLE", "SAMPLE_CONFIGS"]
+
+#: CPU-device sample configuration: all cores at maximum frequency.
+CPU_SAMPLE: Configuration = Configuration.cpu(
+    pstates.CPU_MAX_FREQ_GHZ, pstates.N_CORES
+)
+
+#: GPU-device sample configuration: GPU and host both at maximum frequency.
+GPU_SAMPLE: Configuration = Configuration.gpu(
+    pstates.GPU_MAX_FREQ_GHZ, pstates.CPU_MAX_FREQ_GHZ
+)
+
+#: Both sample configurations, CPU first (the paper's Table II order).
+SAMPLE_CONFIGS: tuple[Configuration, Configuration] = (CPU_SAMPLE, GPU_SAMPLE)

@@ -1,0 +1,63 @@
+"""Experimental harness reproducing the paper's evaluation (Section V).
+
+``harness`` runs methods over kernels under oracle-frontier power caps;
+``metrics`` computes the paper's under-/over-limit columns with kernel-
+time weighting; ``loocv`` drives leave-one-benchmark-out
+cross-validation; ``reporting`` renders every table/figure as text;
+``experiments`` is the per-artifact registry.
+"""
+
+from repro.evaluation.accuracy import (
+    AccuracyReport,
+    KernelAccuracy,
+    evaluate_prediction_accuracy,
+)
+from repro.evaluation.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    experiment_fig2_table1_frontier,
+    experiment_fig3_tree,
+    experiment_fig7_lu_frontier,
+    experiment_table3_and_figures,
+)
+from repro.evaluation.harness import CapEvaluation, evaluate_kernel, evaluate_suite
+from repro.evaluation.loocv import LOOCVReport, run_loocv
+from repro.evaluation.metrics import MethodSummary, summarize, summarize_by_group
+from repro.evaluation.sensitivity import (
+    SensitivityPoint,
+    render_sweep,
+    sweep_hyperparameter,
+)
+from repro.evaluation.reporting import (
+    render_fig4_scatter,
+    render_frontier_table,
+    render_group_bars,
+    render_table3,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "CapEvaluation",
+    "KernelAccuracy",
+    "evaluate_prediction_accuracy",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LOOCVReport",
+    "MethodSummary",
+    "evaluate_kernel",
+    "evaluate_suite",
+    "experiment_fig2_table1_frontier",
+    "experiment_fig3_tree",
+    "experiment_fig7_lu_frontier",
+    "experiment_table3_and_figures",
+    "render_fig4_scatter",
+    "render_frontier_table",
+    "render_group_bars",
+    "render_sweep",
+    "render_table3",
+    "run_loocv",
+    "SensitivityPoint",
+    "sweep_hyperparameter",
+    "summarize",
+    "summarize_by_group",
+]

@@ -1,0 +1,153 @@
+"""Prediction-accuracy evaluation.
+
+The paper's abstract claims the model "accurately predicts power and
+performance"; its scheduling results depend on two distinct accuracy
+properties:
+
+* **magnitude accuracy** — relative error of predicted power (watts)
+  and performance, per configuration;
+* **ranking accuracy** — whether the predicted ordering of
+  configurations matches the true ordering (Section III-B: the linear
+  models exist "to rank configurations in performance and power in a
+  computationally efficient manner").
+
+This module computes both, cross-validated at benchmark granularity
+exactly like the method comparison, and is exercised by the
+prediction-accuracy benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import train_model
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.hardware.apu import TrinityAPU
+from repro.profiling.library import ProfilingLibrary
+from repro.stats.kendall import kendall_tau
+from repro.workloads.suite import Suite, build_suite
+
+__all__ = ["KernelAccuracy", "AccuracyReport", "evaluate_prediction_accuracy"]
+
+
+@dataclass(frozen=True)
+class KernelAccuracy:
+    """Prediction accuracy for one held-out kernel.
+
+    Attributes
+    ----------
+    kernel_uid:
+        The kernel.
+    cluster:
+        The cluster the classification tree assigned.
+    power_mape, perf_mape:
+        Mean absolute percentage error over all configurations.
+    power_max_ape, perf_max_ape:
+        Worst-case absolute percentage error.
+    power_rank_tau, perf_rank_tau:
+        Kendall correlation between the predicted and true orderings of
+        all configurations (1.0 = identical ranking).
+    """
+
+    kernel_uid: str
+    cluster: int
+    power_mape: float
+    perf_mape: float
+    power_max_ape: float
+    perf_max_ape: float
+    power_rank_tau: float
+    perf_rank_tau: float
+
+
+@dataclass
+class AccuracyReport:
+    """Cross-validated prediction accuracy over the full suite."""
+
+    kernels: list[KernelAccuracy]
+
+    def mean(self, field: str) -> float:
+        """Mean of one accuracy field over all kernels."""
+        return float(np.mean([getattr(k, field) for k in self.kernels]))
+
+    def worst(self, field: str) -> float:
+        """Worst kernel's value (max for errors, min for taus)."""
+        values = [getattr(k, field) for k in self.kernels]
+        if field.endswith("tau"):
+            return float(np.min(values))
+        return float(np.max(values))
+
+    def summary(self) -> str:
+        """Human-readable accuracy summary."""
+        return "\n".join(
+            [
+                f"Prediction accuracy over {len(self.kernels)} held-out kernels:",
+                f"  power:       MAPE {100 * self.mean('power_mape'):5.1f}% "
+                f"(worst kernel {100 * self.worst('power_mape'):5.1f}%), "
+                f"rank tau {self.mean('power_rank_tau'):.3f}",
+                f"  performance: MAPE {100 * self.mean('perf_mape'):5.1f}% "
+                f"(worst kernel {100 * self.worst('perf_mape'):5.1f}%), "
+                f"rank tau {self.mean('perf_rank_tau'):.3f}",
+            ]
+        )
+
+
+def evaluate_prediction_accuracy(
+    suite: Suite | None = None,
+    *,
+    seed: int = 0,
+    n_clusters: int = 5,
+    transform: str = "none",
+    power_anchor: bool = True,
+) -> AccuracyReport:
+    """Leave-one-benchmark-out prediction accuracy for every kernel.
+
+    For each fold the model is trained on the other benchmarks, each
+    held-out kernel runs its two sample iterations, and the model's
+    whole-space predictions are scored against ground truth.
+    """
+    suite = suite if suite is not None else build_suite()
+    apu = TrinityAPU(seed=seed)
+    results: list[KernelAccuracy] = []
+
+    for fold_i, benchmark in enumerate(suite.benchmarks()):
+        train_kernels = [k for k in suite if k.benchmark != benchmark]
+        library = ProfilingLibrary(apu, seed=seed * 7919 + fold_i)
+        model = train_model(
+            library,
+            train_kernels,
+            n_clusters=n_clusters,
+            transform=transform,
+            power_anchor=power_anchor,
+        )
+        online = ProfilingLibrary(apu, seed=seed * 7919 + 1000 + fold_i)
+        for kernel in suite.for_benchmark(benchmark):
+            cpu_m = online.profile(kernel, CPU_SAMPLE).measurement
+            gpu_m = online.profile(kernel, GPU_SAMPLE).measurement
+            prediction = model.predict_kernel(
+                cpu_m, gpu_m, kernel_uid=kernel.uid
+            )
+            pred_p, pred_f, true_p, true_f = [], [], [], []
+            for cfg, (pw, pf) in prediction.predictions.items():
+                pred_p.append(pw)
+                pred_f.append(pf)
+                true_p.append(apu.true_total_power_w(kernel, cfg))
+                true_f.append(apu.true_performance(kernel, cfg))
+            pred_p, pred_f = np.array(pred_p), np.array(pred_f)
+            true_p, true_f = np.array(true_p), np.array(true_f)
+            ape_p = np.abs(pred_p - true_p) / true_p
+            ape_f = np.abs(pred_f - true_f) / true_f
+            results.append(
+                KernelAccuracy(
+                    kernel_uid=kernel.uid,
+                    cluster=prediction.cluster,
+                    power_mape=float(ape_p.mean()),
+                    perf_mape=float(ape_f.mean()),
+                    power_max_ape=float(ape_p.max()),
+                    perf_max_ape=float(ape_f.max()),
+                    power_rank_tau=kendall_tau(pred_p, true_p),
+                    perf_rank_tau=kendall_tau(pred_f, true_f),
+                )
+            )
+    return AccuracyReport(kernels=results)

@@ -1,0 +1,168 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment function regenerates one artifact of the paper's
+evaluation section and returns an :class:`ExperimentResult` holding both
+structured data and a rendered text form.  The per-experiment benchmark
+files under ``benchmarks/`` call these functions; EXPERIMENTS.md records
+paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.frontier import ParetoFrontier
+from repro.core.model import train_model
+from repro.evaluation.loocv import LOOCVReport, run_loocv
+from repro.evaluation.metrics import MethodSummary, summarize, summarize_by_group
+from repro.evaluation.reporting import (
+    render_fig4_scatter,
+    render_frontier_table,
+    render_group_bars,
+    render_table3,
+)
+from repro.hardware.apu import TrinityAPU
+from repro.hardware.noise import NoiseModel
+from repro.profiling.library import ProfilingLibrary
+from repro.workloads.suite import build_suite
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_fig2_table1_frontier",
+    "experiment_fig3_tree",
+    "experiment_fig7_lu_frontier",
+    "experiment_table3_and_figures",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Any
+
+
+def _true_frontier(kernel_uid: str, seed: int = 0) -> ParetoFrontier:
+    apu = TrinityAPU(noise=NoiseModel.exact(), seed=seed)
+    kernel = build_suite().get(kernel_uid)
+    return ParetoFrontier.from_measurements(apu.run_all_configs(kernel))
+
+
+def experiment_fig2_table1_frontier(seed: int = 0) -> ExperimentResult:
+    """Figure 2 / Table I: the Pareto frontier of LULESH's
+    CalcFBHourglassForce kernel."""
+    frontier = _true_frontier("LULESH/Large/CalcFBHourglassForce", seed)
+    text = render_frontier_table(
+        frontier,
+        title="Table I / Fig 2: frontier of LULESH CalcFBHourglassForce",
+    )
+    return ExperimentResult("fig2_table1", "LULESH frontier", text, frontier)
+
+
+def experiment_fig7_lu_frontier(seed: int = 0) -> ExperimentResult:
+    """Figure 7: the LU Small frontier with its CPU-to-GPU cliff."""
+    frontier = _true_frontier("LU/Small/LUDecomposition", seed)
+    text = render_frontier_table(
+        frontier, title="Fig 7: power-performance frontier of LU Small"
+    )
+    return ExperimentResult("fig7", "LU Small frontier", text, frontier)
+
+
+def experiment_fig3_tree(seed: int = 0) -> ExperimentResult:
+    """Figure 3: an example trained cluster-classification tree."""
+    apu = TrinityAPU(seed=seed)
+    library = ProfilingLibrary(apu, seed=seed)
+    suite = build_suite()
+    train = [k for k in suite if k.benchmark != "LU"]
+    model = train_model(library, train)
+    text = "Fig 3: cluster classification tree\n" + model.classifier.render()
+    return ExperimentResult("fig3", "classification tree", text, model)
+
+
+def experiment_table3_and_figures(
+    seed: int = 0, report: LOOCVReport | None = None
+) -> dict[str, ExperimentResult]:
+    """Table III and Figures 4, 5, 6, 8, 9 from one cross-validated run.
+
+    The five artifacts share the same underlying evaluation, exactly as
+    in the paper, so they are produced together.  Pass a precomputed
+    ``report`` to re-render without re-running.
+    """
+    if report is None:
+        report = run_loocv(seed=seed)
+    overall = summarize(report.records)
+    by_group = summarize_by_group(report.records)
+
+    def series(metric: Callable[[MethodSummary], float]):
+        return {
+            group: {s.method: metric(s) for s in summaries}
+            for group, summaries in by_group.items()
+        }
+
+    results = {
+        "table3": ExperimentResult(
+            "table3",
+            "method comparison vs oracle",
+            render_table3(overall, title="Table III: methods vs oracle"),
+            overall,
+        ),
+        "fig4": ExperimentResult(
+            "fig4",
+            "under-limit vs performance scatter",
+            render_fig4_scatter(overall, title="Fig 4: methods vs oracle"),
+            overall,
+        ),
+        "fig5": ExperimentResult(
+            "fig5",
+            "under-limit performance by benchmark",
+            render_group_bars(
+                series(lambda s: s.under_perf_pct),
+                title="Fig 5: % of oracle performance (under-limit cases)",
+            ),
+            series(lambda s: s.under_perf_pct),
+        ),
+        "fig6": ExperimentResult(
+            "fig6",
+            "percent under-limit by benchmark",
+            render_group_bars(
+                series(lambda s: s.pct_under_limit),
+                title="Fig 6: % of cases under limit",
+            ),
+            series(lambda s: s.pct_under_limit),
+        ),
+        "fig8": ExperimentResult(
+            "fig8",
+            "over-limit power by benchmark",
+            render_group_bars(
+                series(lambda s: s.over_power_pct),
+                title="Fig 8: % of oracle power (over-limit cases)",
+                bar_scale=150.0,
+            ),
+            series(lambda s: s.over_power_pct),
+        ),
+        "fig9": ExperimentResult(
+            "fig9",
+            "over-limit performance by benchmark",
+            render_group_bars(
+                series(lambda s: s.over_perf_pct),
+                title="Fig 9: % of oracle performance (over-limit cases)",
+                bar_scale=500.0,
+            ),
+            series(lambda s: s.over_perf_pct),
+        ),
+    }
+    return results
+
+
+#: Registry of every regenerable artifact; benchmark files iterate it.
+EXPERIMENTS: dict[str, Callable[..., Any]] = {
+    "fig2_table1": experiment_fig2_table1_frontier,
+    "fig3": experiment_fig3_tree,
+    "fig7": experiment_fig7_lu_frontier,
+    "table3_figs": experiment_table3_and_figures,
+}

@@ -1,0 +1,139 @@
+"""Evaluation harness: methods x caps x kernels.
+
+Implements the paper's protocol (Section V-B): for each kernel, the
+tested power caps are the power levels of the configurations on the
+kernel's oracle frontier; each method commits to a configuration per
+cap; the committed configuration's *ground-truth* power and performance
+are then compared to the oracle's choice at the same cap, split into
+under-limit and over-limit cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.hardware.apu import TrinityAPU
+from repro.hardware.config import Configuration
+from repro.methods.base import PowerLimitMethod
+from repro.methods.oracle import Oracle
+from repro.workloads.kernel import Kernel
+
+__all__ = ["CapEvaluation", "evaluate_kernel", "evaluate_suite"]
+
+#: Relative tolerance when testing cap compliance: a method that picks
+#: the oracle's own configuration measures power exactly equal to the
+#: cap and must count as under-limit.
+_CAP_RTOL: float = 1e-9
+
+
+@dataclass(frozen=True)
+class CapEvaluation:
+    """One (kernel, power cap, method) evaluation record.
+
+    Power and performance are ground truth at the committed
+    configuration (the oracle is judged on ground truth, so methods are
+    too).
+    """
+
+    kernel_uid: str
+    benchmark: str
+    group: str
+    time_weight: float
+    method: str
+    power_cap_w: float
+    config: Configuration
+    power_w: float
+    performance: float
+    oracle_config: Configuration
+    oracle_power_w: float
+    oracle_performance: float
+    online_runs: int = 0
+
+    @property
+    def under_limit(self) -> bool:
+        """Whether the method's true power respects the cap."""
+        return self.power_w <= self.power_cap_w * (1.0 + _CAP_RTOL)
+
+    @property
+    def perf_vs_oracle(self) -> float:
+        """Performance relative to the oracle's (1.0 = parity)."""
+        return self.performance / self.oracle_performance
+
+    @property
+    def power_vs_oracle(self) -> float:
+        """Power relative to the oracle's (1.0 = parity)."""
+        return self.power_w / self.oracle_power_w
+
+
+def evaluate_kernel(
+    apu: TrinityAPU,
+    oracle: Oracle,
+    methods: Sequence[PowerLimitMethod],
+    kernel: Kernel,
+    *,
+    caps: Iterable[float] | None = None,
+) -> list[CapEvaluation]:
+    """Evaluate every method on every cap of one kernel.
+
+    Parameters
+    ----------
+    apu:
+        Machine providing ground truth for judging decisions.
+    oracle:
+        The reference; also supplies the caps when ``caps`` is ``None``.
+    methods:
+        Methods to evaluate (the oracle itself need not be included —
+        its choices appear in every record).
+    kernel:
+        The kernel under evaluation.
+    caps:
+        Optional explicit cap list (defaults to the oracle-frontier
+        power levels, the paper's protocol).
+    """
+    cap_list = list(caps) if caps is not None else oracle.caps_for(kernel)
+    if not cap_list:
+        raise ValueError("no power caps to evaluate")
+
+    for method in methods:
+        method.prepare(kernel)
+
+    records: list[CapEvaluation] = []
+    for cap in cap_list:
+        oracle_cfg = oracle.decide(kernel, cap).config
+        o_power = apu.true_total_power_w(kernel, oracle_cfg)
+        o_perf = apu.true_performance(kernel, oracle_cfg)
+        for method in methods:
+            decision = method.decide(kernel, cap)
+            cfg = decision.config
+            records.append(
+                CapEvaluation(
+                    kernel_uid=kernel.uid,
+                    benchmark=kernel.benchmark,
+                    group=kernel.group,
+                    time_weight=kernel.time_weight,
+                    method=method.name,
+                    power_cap_w=cap,
+                    config=cfg,
+                    power_w=apu.true_total_power_w(kernel, cfg),
+                    performance=apu.true_performance(kernel, cfg),
+                    oracle_config=oracle_cfg,
+                    oracle_power_w=o_power,
+                    oracle_performance=o_perf,
+                    online_runs=decision.online_runs,
+                )
+            )
+    return records
+
+
+def evaluate_suite(
+    apu: TrinityAPU,
+    oracle: Oracle,
+    methods: Sequence[PowerLimitMethod],
+    kernels: Iterable[Kernel],
+) -> list[CapEvaluation]:
+    """Evaluate methods over many kernels (caps per the paper's protocol)."""
+    records: list[CapEvaluation] = []
+    for kernel in kernels:
+        records.extend(evaluate_kernel(apu, oracle, methods, kernel))
+    return records

@@ -1,0 +1,122 @@
+"""Leave-one-benchmark-out cross-validated evaluation.
+
+Paper Section V-C: "for each benchmark, we form a training set that
+consists of kernels from other benchmarks.  From kernels in the
+training set, we compute clusters, cluster models, and a classification
+tree, then apply them to kernels from the benchmark under validation.
+In doing so, we ensure that the model is always applied to as-yet-unseen
+benchmarks."
+
+:func:`run_loocv` is the package's top-level experiment driver: it
+produces the :class:`~repro.evaluation.harness.CapEvaluation` records
+behind Table III and Figures 4-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import AdaptiveModel, train_model
+from repro.core.scheduler import Scheduler
+from repro.evaluation.harness import CapEvaluation, evaluate_suite
+from repro.hardware.apu import TrinityAPU
+from repro.methods.freq_limit import CpuFrequencyLimiting, GpuFrequencyLimiting
+from repro.methods.model_method import ModelMethod, ModelPlusFL
+from repro.methods.oracle import Oracle
+from repro.profiling.library import ProfilingLibrary
+from repro.workloads.suite import Suite, build_suite
+
+__all__ = ["LOOCVReport", "run_loocv"]
+
+
+@dataclass
+class LOOCVReport:
+    """Everything a cross-validated evaluation produced.
+
+    Attributes
+    ----------
+    records:
+        All (kernel, cap, method) evaluations across folds.
+    fold_models:
+        The model trained for each held-out benchmark.
+    """
+
+    records: list[CapEvaluation] = field(default_factory=list)
+    fold_models: dict[str, AdaptiveModel] = field(default_factory=dict)
+
+
+def run_loocv(
+    suite: Suite | None = None,
+    *,
+    seed: int = 0,
+    n_clusters: int = 5,
+    transform: str = "none",
+    power_anchor: bool = True,
+    composition_weight: float | None = None,
+    ridge: float = 0.0,
+    tree_max_depth: int = 4,
+    risk_margin: float = 0.0,
+    include_freq_limiting: bool = True,
+) -> LOOCVReport:
+    """Run the paper's full cross-validated method comparison.
+
+    Parameters
+    ----------
+    suite:
+        Benchmark suite (defaults to the paper's 36-kernel/65-combo
+        suite).
+    seed:
+        Master seed for the machine and every profiling library.
+    n_clusters, transform, power_anchor, composition_weight, ridge,
+    tree_max_depth:
+        Offline-training knobs forwarded to
+        :meth:`AdaptiveModel.train` (paper defaults).
+    risk_margin:
+        Scheduler risk margin for the model methods (Section VI
+        extension; 0 reproduces the paper).
+    include_freq_limiting:
+        Also evaluate the CPU+FL / GPU+FL baselines (they are
+        model-independent, so ablation callers may skip them).
+
+    Returns
+    -------
+    LOOCVReport
+    """
+    suite = suite if suite is not None else build_suite()
+    apu = TrinityAPU(seed=seed)
+    oracle = Oracle(apu)
+    report = LOOCVReport()
+
+    for fold_i, benchmark in enumerate(suite.benchmarks()):
+        train_kernels = [k for k in suite if k.benchmark != benchmark]
+        test_kernels = suite.for_benchmark(benchmark)
+
+        train_library = ProfilingLibrary(apu, seed=seed * 1000 + fold_i)
+        model = train_model(
+            train_library,
+            train_kernels,
+            n_clusters=n_clusters,
+            transform=transform,
+            power_anchor=power_anchor,
+            composition_weight=composition_weight,
+            ridge=ridge,
+            tree_max_depth=tree_max_depth,
+        )
+        report.fold_models[benchmark] = model
+
+        online_library = ProfilingLibrary(apu, seed=seed * 1000 + 500 + fold_i)
+        scheduler = Scheduler(risk_margin=risk_margin)
+        methods = [
+            ModelMethod(model, online_library, scheduler=scheduler),
+            ModelPlusFL(
+                model, online_library, scheduler=scheduler, seed=seed + fold_i
+            ),
+        ]
+        if include_freq_limiting:
+            methods.append(CpuFrequencyLimiting(apu, seed=seed + fold_i))
+            methods.append(GpuFrequencyLimiting(apu, seed=seed + fold_i))
+
+        report.records.extend(
+            evaluate_suite(apu, oracle, methods, test_kernels)
+        )
+    return report

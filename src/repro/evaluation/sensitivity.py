@@ -1,0 +1,119 @@
+"""Hyperparameter sensitivity sweeps.
+
+The individual ablation benchmarks probe single design choices; this
+module generalizes them into one API: sweep any offline-training knob
+over a value list, run the cross-validated Model-only evaluation at each
+value, and collect the headline metrics.  Useful both for tuning on a
+new machine and for the sensitivity benchmark's end-to-end grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.evaluation.loocv import run_loocv
+from repro.evaluation.metrics import summarize
+from repro.workloads.suite import Suite
+
+__all__ = ["SensitivityPoint", "sweep_hyperparameter", "render_sweep"]
+
+#: Offline-training knobs the sweep accepts.
+_SWEEPABLE = {
+    "n_clusters",
+    "transform",
+    "power_anchor",
+    "composition_weight",
+    "ridge",
+    "tree_max_depth",
+    "risk_margin",
+}
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One point of a hyperparameter sweep (Model method only).
+
+    Attributes
+    ----------
+    parameter, value:
+        The knob and its setting.
+    pct_under_limit, under_perf_pct:
+        The headline metrics at that setting (see
+        :class:`~repro.evaluation.metrics.MethodSummary`).
+    """
+
+    parameter: str
+    value: Any
+    pct_under_limit: float
+    under_perf_pct: float
+
+
+def sweep_hyperparameter(
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    suite: Suite | None = None,
+    seed: int = 0,
+    **fixed: Any,
+) -> list[SensitivityPoint]:
+    """Evaluate the Model method at each value of one training knob.
+
+    Parameters
+    ----------
+    parameter:
+        Knob name (one of ``n_clusters``, ``transform``,
+        ``power_anchor``, ``composition_weight``, ``ridge``,
+        ``tree_max_depth``, ``risk_margin``).
+    values:
+        The settings to evaluate.
+    fixed:
+        Other knobs held constant across the sweep.
+    """
+    if parameter not in _SWEEPABLE:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; sweepable: {sorted(_SWEEPABLE)}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    bad_fixed = set(fixed) - _SWEEPABLE
+    if bad_fixed:
+        raise ValueError(f"unknown fixed parameters: {sorted(bad_fixed)}")
+    if parameter in fixed:
+        raise ValueError(f"{parameter!r} is both swept and fixed")
+
+    points = []
+    for value in values:
+        kwargs = dict(fixed)
+        kwargs[parameter] = value
+        report = run_loocv(
+            suite, seed=seed, include_freq_limiting=False, **kwargs
+        )
+        summary = summarize(report.records, method="Model")[0]
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                value=value,
+                pct_under_limit=summary.pct_under_limit,
+                under_perf_pct=summary.under_perf_pct,
+            )
+        )
+    return points
+
+
+def render_sweep(points: Sequence[SensitivityPoint], title: str = "") -> str:
+    """Text table of a sweep's results."""
+    if not points:
+        raise ValueError("no sweep points to render")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"  {points[0].parameter:<20} {'% under':>8} {'U %perf':>8}"
+    )
+    for p in points:
+        lines.append(
+            f"  {str(p.value):<20} {p.pct_under_limit:8.1f} "
+            f"{p.under_perf_pct:8.1f}"
+        )
+    return "\n".join(lines)

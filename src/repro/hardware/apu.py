@@ -1,0 +1,231 @@
+"""The simulated Trinity APU: the facade tying timing, power, and
+counters together.
+
+:class:`TrinityAPU` exposes two views of the machine:
+
+* :meth:`TrinityAPU.true_time_s` / :meth:`TrinityAPU.true_power` —
+  deterministic ground truth, available only to the **oracle** used as
+  the evaluation baseline (Section V-B of the paper);
+* :meth:`TrinityAPU.run` — a *measured* execution: ground truth
+  perturbed by the machine's :class:`~repro.hardware.noise.NoiseModel`.
+  This is the only interface the modeling pipeline uses, mirroring how
+  the paper's system sees silicon solely through PAPI counters and the
+  on-chip power estimator.
+
+Measurements report the two power domains separately (CPU cores;
+northbridge + GPU), just like the Trinity system-management
+microcontroller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.hardware import pstates
+from repro.hardware.config import Configuration, ConfigSpace, Device
+from repro.hardware.counters import synthesize_counters
+from repro.hardware.kernelmodel import (
+    KernelCharacteristics,
+    amdahl_speedup,
+    memory_bandwidth_factor,
+    true_time_s,
+)
+from repro.hardware.noise import NoiseModel
+from repro.hardware.power import PowerBreakdown, PowerModelConstants, power_w
+from repro.hardware.thermal import BoostPolicy
+
+__all__ = ["Measurement", "TrinityAPU"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured kernel execution.
+
+    Attributes
+    ----------
+    config:
+        The configuration the kernel executed on.
+    time_s:
+        Measured wall time of one kernel invocation (seconds).
+    cpu_plane_w:
+        Measured average power of the CPU-cores domain (watts).
+    nbgpu_plane_w:
+        Measured average power of the northbridge+GPU domain (watts).
+    counters:
+        Normalized performance-counter metrics
+        (see :data:`repro.hardware.counters.COUNTER_NAMES`).
+    """
+
+    config: Configuration
+    time_s: float
+    cpu_plane_w: float
+    nbgpu_plane_w: float
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def total_power_w(self) -> float:
+        """Whole-chip average power (sum of both domains)."""
+        return self.cpu_plane_w + self.nbgpu_plane_w
+
+    @property
+    def performance(self) -> float:
+        """Throughput: kernel invocations per second."""
+        return 1.0 / self.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of one invocation (joules)."""
+        return self.total_power_w * self.time_s
+
+
+def _characteristics(kernel: object) -> KernelCharacteristics:
+    """Accept either raw characteristics or any object exposing them via
+    a ``characteristics`` attribute (e.g. :class:`repro.workloads.Kernel`)."""
+    if isinstance(kernel, KernelCharacteristics):
+        return kernel
+    chars = getattr(kernel, "characteristics", None)
+    if isinstance(chars, KernelCharacteristics):
+        return chars
+    raise TypeError(
+        f"expected KernelCharacteristics or an object with a "
+        f".characteristics attribute, got {type(kernel).__name__}"
+    )
+
+
+class TrinityAPU:
+    """Simulated AMD Trinity A10-5800K APU.
+
+    Parameters
+    ----------
+    noise:
+        Measurement-noise model; defaults to realistic small noise.  Use
+        :meth:`NoiseModel.exact` for deterministic measurements.
+    power_constants:
+        Power-model calibration constants (defaults match the paper's
+        published power ranges).
+    seed:
+        Seed for the machine's internal measurement-noise stream.
+    boost:
+        Optional opportunistic-overclocking capability (paper Section
+        VI; off by default, matching the paper's evaluated machine).
+        When enabled, CPU configurations at the top software P-state
+        boost toward the policy's frequency whenever thermal headroom
+        allows.
+    """
+
+    def __init__(
+        self,
+        *,
+        noise: NoiseModel | None = None,
+        power_constants: PowerModelConstants | None = None,
+        seed: int = 0,
+        boost: BoostPolicy | None = None,
+    ) -> None:
+        self.noise = noise if noise is not None else NoiseModel()
+        self.power_constants = (
+            power_constants if power_constants is not None else PowerModelConstants()
+        )
+        self.boost = boost
+        self.config_space = ConfigSpace()
+        self._rng = np.random.default_rng(seed)
+
+    # -- opportunistic boost (Section VI extension) ----------------------------
+
+    def _boost_applies(self, cfg: Configuration) -> bool:
+        return (
+            self.boost is not None
+            and cfg.device is Device.CPU
+            and abs(cfg.cpu_freq_ghz - pstates.CPU_MAX_FREQ_GHZ) < 1e-9
+        )
+
+    def _boost_outcome(self, chars: KernelCharacteristics, cfg: Configuration):
+        base_power = power_w(chars, cfg, self.power_constants).total_w
+        # Frequency-sensitive share of runtime at the top P-state.
+        compute = (1.0 - chars.mem_fraction) / amdahl_speedup(
+            cfg.n_threads, chars.parallel_fraction
+        )
+        memory = chars.mem_fraction / memory_bandwidth_factor(cfg.n_threads)
+        compute_fraction = compute / (compute + memory) if compute + memory else 0.0
+        return self.boost.evaluate(base_power, cfg.n_threads, compute_fraction)
+
+    # -- ground truth (oracle-only) ------------------------------------------
+
+    def true_time_s(self, kernel: object, cfg: Configuration) -> float:
+        """Deterministic execution time (seconds) of one invocation."""
+        chars = _characteristics(kernel)
+        t = true_time_s(chars, cfg)
+        if self._boost_applies(cfg):
+            t *= self._boost_outcome(chars, cfg).time_scale
+        return t
+
+    def true_power(self, kernel: object, cfg: Configuration) -> PowerBreakdown:
+        """Deterministic per-plane average power."""
+        chars = _characteristics(kernel)
+        pb = power_w(chars, cfg, self.power_constants)
+        if self._boost_applies(cfg):
+            delta = self._boost_outcome(chars, cfg).power_delta_w
+            pb = PowerBreakdown(
+                cpu_plane_w=pb.cpu_plane_w + delta,
+                nbgpu_plane_w=pb.nbgpu_plane_w,
+            )
+        return pb
+
+    def true_total_power_w(self, kernel: object, cfg: Configuration) -> float:
+        """Deterministic whole-chip average power (watts)."""
+        return self.true_power(kernel, cfg).total_w
+
+    def true_performance(self, kernel: object, cfg: Configuration) -> float:
+        """Deterministic throughput (invocations per second)."""
+        return 1.0 / self.true_time_s(kernel, cfg)
+
+    # -- measurement -----------------------------------------------------------
+
+    def run(
+        self,
+        kernel: object,
+        cfg: Configuration,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Measurement:
+        """Execute one kernel invocation and return a noisy measurement.
+
+        Parameters
+        ----------
+        kernel:
+            :class:`KernelCharacteristics` or an object carrying them.
+        cfg:
+            Configuration to run on (must be in the machine's space).
+        rng:
+            Optional generator for the measurement noise; defaults to the
+            machine's internal stream.
+        """
+        if cfg not in self.config_space:
+            raise ValueError(f"{cfg} is not a valid configuration for this machine")
+        chars = _characteristics(kernel)
+        r = rng if rng is not None else self._rng
+
+        t = self.noise.perturb_time(self.true_time_s(chars, cfg), r)
+        pb = self.true_power(chars, cfg)
+        cpu_w = self.noise.perturb_power(pb.cpu_plane_w, r)
+        nbgpu_w = self.noise.perturb_power(pb.nbgpu_plane_w, r)
+        counters = self.noise.perturb_counters(synthesize_counters(chars, cfg), r)
+        return Measurement(
+            config=cfg,
+            time_s=t,
+            cpu_plane_w=cpu_w,
+            nbgpu_plane_w=nbgpu_w,
+            counters=counters,
+        )
+
+    def run_all_configs(
+        self,
+        kernel: object,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> list[Measurement]:
+        """Measure a kernel on every configuration (the paper's offline
+        exhaustive characterization of training kernels)."""
+        return [self.run(kernel, cfg, rng=rng) for cfg in self.config_space]

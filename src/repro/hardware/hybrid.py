@@ -1,0 +1,155 @@
+"""Idealized hybrid (CPU+GPU simultaneous) execution model.
+
+The paper deliberately excludes hybrid codes from its configuration
+space and gives an argument (Section III-A): load imbalance and extra
+parallel overhead often make hybrid execution slower in practice, and
+even when it helps, "it will strictly lower power-efficiency compared
+to the best single device ... In the best possible case, hybrid
+execution will increase performance by a factor of two over the best
+single device, but will increase power consumption at least as much."
+
+This module models hybrid execution *optimistically* so the paper's
+argument can be tested quantitatively (see
+``benchmarks/test_bench_hybrid_analysis.py``):
+
+* work splits between the devices in the ratio of their throughputs
+  (perfect load balance — the best case the paper concedes);
+* an optional efficiency factor models the realistic overheads
+  (synchronization, input splitting, output merging) the paper cites;
+* power is the sum of both devices' active draws, minus the
+  double-counted shared components (northbridge static, DRAM — charged
+  once at the higher of the two rates).
+
+If even this optimistic model is Pareto-dominated under power caps, the
+paper's exclusion is justified a fortiori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import pstates
+from repro.hardware.config import Configuration
+from repro.hardware.kernelmodel import (
+    KernelCharacteristics,
+    cpu_time_s,
+    gpu_time_s,
+)
+from repro.hardware.power import PowerModelConstants, power_w
+
+__all__ = ["HybridPoint", "hybrid_execution"]
+
+
+@dataclass(frozen=True)
+class HybridPoint:
+    """One hybrid operating point.
+
+    Attributes
+    ----------
+    cpu_config, gpu_config:
+        The single-device configurations combined (the CPU side runs
+        the CPU portion; the GPU side runs the GPU portion with its
+        host thread on the same P-state as the CPU side).
+    time_s:
+        Hybrid execution time under the model.
+    power_w:
+        Hybrid average power.
+    cpu_share:
+        Fraction of the work assigned to the CPU.
+    """
+
+    cpu_config: Configuration
+    gpu_config: Configuration
+    time_s: float
+    power_w: float
+    cpu_share: float
+
+    @property
+    def performance(self) -> float:
+        """Throughput of the hybrid point (invocations per second)."""
+        return 1.0 / self.time_s
+
+
+def hybrid_execution(
+    k: KernelCharacteristics,
+    cpu_freq_ghz: float,
+    n_threads: int,
+    gpu_freq_ghz: float,
+    *,
+    efficiency: float = 1.0,
+    constants: PowerModelConstants | None = None,
+) -> HybridPoint:
+    """Evaluate one hybrid operating point for kernel ``k``.
+
+    Parameters
+    ----------
+    cpu_freq_ghz, n_threads:
+        The CPU side's P-state and thread count.  One of the threads
+        doubles as the GPU's host thread.
+    gpu_freq_ghz:
+        The GPU side's P-state.
+    efficiency:
+        Fraction of the ideal overlap actually achieved (1.0 = the
+        paper's conceded best case; realistic hybrid runtimes land well
+        below).
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    c = constants if constants is not None else PowerModelConstants()
+
+    cpu_cfg = Configuration.cpu(cpu_freq_ghz, n_threads)
+    gpu_cfg = Configuration.gpu(gpu_freq_ghz, cpu_freq_ghz)
+
+    t_cpu = cpu_time_s(k, cpu_freq_ghz, n_threads)
+    t_gpu = gpu_time_s(k, gpu_freq_ghz, cpu_freq_ghz)
+
+    # Perfect load balance: split so both sides finish together.
+    # share/t_cpu' = (1-share)/t_gpu'  ->  share = t_gpu / (t_cpu + t_gpu)
+    # (t_x is the full-work time on device x; a fraction s of the work
+    # takes s * t_x).
+    cpu_share = t_gpu / (t_cpu + t_gpu)
+    ideal_time = cpu_share * t_cpu  # == (1 - cpu_share) * t_gpu
+    time_s = ideal_time / efficiency
+
+    # Power: both devices active simultaneously.  Shared NB/DRAM/static
+    # components must not be double counted: take the CPU-side report
+    # and add only the GPU-side's *GPU-specific* increment (its NB+GPU
+    # plane minus the idle-GPU NB+GPU plane the CPU side already pays),
+    # plus the larger DRAM draw is already inside whichever side reports
+    # more on that plane.
+    pb_cpu = power_w(k, cpu_cfg, c)
+    pb_gpu = power_w(k, gpu_cfg, c)
+    gpu_increment = pb_gpu.nbgpu_plane_w - power_w(k, cpu_cfg, c).nbgpu_plane_w
+    total_power = pb_cpu.total_w + max(gpu_increment, 0.0)
+
+    return HybridPoint(
+        cpu_config=cpu_cfg,
+        gpu_config=gpu_cfg,
+        time_s=time_s,
+        power_w=total_power,
+        cpu_share=cpu_share,
+    )
+
+
+def best_hybrid_under_cap(
+    k: KernelCharacteristics,
+    power_cap_w: float,
+    *,
+    efficiency: float = 1.0,
+    constants: PowerModelConstants | None = None,
+) -> HybridPoint | None:
+    """The best hybrid operating point whose power respects the cap, or
+    ``None`` when no hybrid point fits (hybrid runs both devices, so its
+    power floor is high)."""
+    best: HybridPoint | None = None
+    for f in pstates.CPU_FREQS_GHZ:
+        for n in range(1, pstates.N_CORES + 1):
+            for g in pstates.GPU_FREQS_GHZ:
+                point = hybrid_execution(
+                    k, f, n, g, efficiency=efficiency, constants=constants
+                )
+                if point.power_w > power_cap_w:
+                    continue
+                if best is None or point.performance > best.performance:
+                    best = point
+    return best

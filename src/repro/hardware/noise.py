@@ -1,0 +1,74 @@
+"""Measurement-noise models.
+
+Real measurements are imperfect: the paper integrates an on-chip power
+estimate sampled at 1 kHz (Section IV-C, overhead < 10 %), and run-to-run
+timing varies with OS noise.  The simulator separates *ground truth*
+(deterministic, used by the oracle) from *measurements* (noisy, the only
+thing the modeling pipeline may see).
+
+Noise is multiplicative log-normal — strictly positive, unbiased at
+first order, with configurable relative magnitude.  All draws come from
+an explicit :class:`numpy.random.Generator`, so every experiment in this
+package is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Relative noise magnitudes applied to measured quantities.
+
+    Attributes
+    ----------
+    time_rel:
+        Relative standard deviation of execution-time measurements.
+    power_rel:
+        Relative standard deviation of integrated power estimates.
+    counter_rel:
+        Relative standard deviation of normalized counter metrics.
+    """
+
+    time_rel: float = 0.015
+    power_rel: float = 0.02
+    counter_rel: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in ("time_rel", "power_rel", "counter_rel"):
+            v = getattr(self, name)
+            if not 0.0 <= v < 0.5:
+                raise ValueError(f"{name}={v} must be in [0, 0.5)")
+
+    @staticmethod
+    def exact() -> "NoiseModel":
+        """A noise-free model (measurements equal ground truth)."""
+        return NoiseModel(time_rel=0.0, power_rel=0.0, counter_rel=0.0)
+
+    def _scale(self, value: float, rel: float, rng: np.random.Generator) -> float:
+        if rel == 0.0:
+            return value
+        # Log-normal with mean ~1: sigma of underlying normal = rel.
+        return float(value * rng.lognormal(mean=-0.5 * rel * rel, sigma=rel))
+
+    def perturb_time(self, t: float, rng: np.random.Generator) -> float:
+        """Noisy observation of an execution time (seconds)."""
+        return self._scale(t, self.time_rel, rng)
+
+    def perturb_power(self, p: float, rng: np.random.Generator) -> float:
+        """Noisy observation of an average power (watts)."""
+        return self._scale(p, self.power_rel, rng)
+
+    def perturb_counters(
+        self, counters: dict[str, float], rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Noisy observation of a counter-metric dict (order-stable)."""
+        return {
+            name: self._scale(v, self.counter_rel, rng)
+            for name, v in counters.items()
+        }

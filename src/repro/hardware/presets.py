@@ -1,0 +1,64 @@
+"""Named machine presets.
+
+The paper's offline stage "is conducted only once to characterize a new
+system" (Section III) — the model is machine-specific by design.  These
+presets make that concrete: each returns a :class:`TrinityAPU` with a
+different power calibration, standing in for distinct parts or platform
+generations (the paper's introduction points at Kaveri, Trinity's
+successor).  The P-state tables are shared (all are Trinity-class APUs);
+what changes is where power goes — exactly the kind of difference that
+invalidates a transplanted model (see
+``benchmarks/test_bench_cross_machine.py``).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.apu import TrinityAPU
+from repro.hardware.noise import NoiseModel
+from repro.hardware.power import PowerModelConstants
+
+__all__ = ["trinity", "efficient_apu", "leaky_apu", "MACHINE_PRESETS"]
+
+
+def trinity(*, seed: int = 0, noise: NoiseModel | None = None) -> TrinityAPU:
+    """The paper's machine: the calibrated A10-5800K model (default)."""
+    return TrinityAPU(seed=seed, noise=noise)
+
+
+def efficient_apu(*, seed: int = 0, noise: NoiseModel | None = None) -> TrinityAPU:
+    """A die-shrunk successor: lower static power everywhere, cheaper
+    GPU switching — the GPU becomes attractive at much lower caps."""
+    constants = PowerModelConstants(
+        cpu_static_base=1.8,
+        cpu_static_v2=1.2,
+        cpu_dyn_per_core=1.2,
+        nb_static=1.5,
+        gpu_idle_w=0.8,
+        gpu_static_base=2.2,
+        gpu_static_v2=3.5,
+        gpu_dyn=18.0,
+    )
+    return TrinityAPU(seed=seed, noise=noise, power_constants=constants)
+
+
+def leaky_apu(*, seed: int = 0, noise: NoiseModel | None = None) -> TrinityAPU:
+    """A hot-binned part: high leakage (static power) with the same
+    dynamic behaviour — voltage-dependent terms dominate, squeezing the
+    usable range under tight caps."""
+    constants = PowerModelConstants(
+        cpu_static_base=6.0,
+        cpu_static_v2=4.5,
+        nb_static=4.0,
+        gpu_idle_w=3.0,
+        gpu_static_base=7.0,
+        gpu_static_v2=9.0,
+    )
+    return TrinityAPU(seed=seed, noise=noise, power_constants=constants)
+
+
+#: Name -> factory, for CLI/experiment enumeration.
+MACHINE_PRESETS = {
+    "trinity": trinity,
+    "efficient": efficient_apu,
+    "leaky": leaky_apu,
+}

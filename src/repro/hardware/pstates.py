@@ -1,0 +1,96 @@
+"""P-state tables and voltage curves for the simulated Trinity APU.
+
+The paper's test machine is an AMD A10-5800K "Trinity" APU (Section IV-A):
+
+* two dual-core PileDriver compute units sharing one voltage plane — the
+  CU running at the highest frequency sets the voltage for the whole
+  plane;
+* six software-visible CPU P-states from 1.4 to 3.7 GHz (opportunistic
+  boost states above 3.7 GHz are excluded, as in the paper);
+* a GPU on a separate power plane with three effective P-states at
+  311, 649, and 819 MHz.
+
+Voltage curves are affine in frequency, a standard first-order
+approximation of published voltage/frequency tables; the exact values
+only need to produce power *orderings and spreads* similar to the
+paper's measurements (Table I), which the calibration tests in
+``tests/test_hardware_power.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CPU_FREQS_GHZ",
+    "CPU_MAX_FREQ_GHZ",
+    "CPU_MIN_FREQ_GHZ",
+    "GPU_FREQS_GHZ",
+    "GPU_MAX_FREQ_GHZ",
+    "GPU_MIN_FREQ_GHZ",
+    "N_CORES",
+    "cpu_pstate_index",
+    "cpu_voltage",
+    "gpu_pstate_index",
+    "gpu_voltage",
+]
+
+#: Software-visible CPU P-state frequencies (GHz), ascending.
+CPU_FREQS_GHZ: tuple[float, ...] = (1.4, 1.9, 2.4, 2.9, 3.3, 3.7)
+
+#: Effective GPU P-state frequencies (GHz), ascending (311/649/819 MHz).
+GPU_FREQS_GHZ: tuple[float, ...] = (0.311, 0.649, 0.819)
+
+CPU_MIN_FREQ_GHZ: float = CPU_FREQS_GHZ[0]
+CPU_MAX_FREQ_GHZ: float = CPU_FREQS_GHZ[-1]
+GPU_MIN_FREQ_GHZ: float = GPU_FREQS_GHZ[0]
+GPU_MAX_FREQ_GHZ: float = GPU_FREQS_GHZ[-1]
+
+#: Four CPU cores (two dual-core PileDriver modules).
+N_CORES: int = 4
+
+# Affine voltage/frequency curves (volts as a function of GHz).
+_CPU_V0, _CPU_V1 = 0.70, 0.16
+_GPU_V0, _GPU_V1 = 0.80, 0.45
+
+
+def cpu_voltage(freq_ghz: float) -> float:
+    """Core voltage (V) at a CPU frequency.
+
+    The CPU compute units share a voltage plane, so callers must pass the
+    *maximum* frequency across active CUs (Section IV-A).
+    """
+    _require_cpu_freq(freq_ghz)
+    return _CPU_V0 + _CPU_V1 * freq_ghz
+
+
+def gpu_voltage(freq_ghz: float) -> float:
+    """GPU voltage (V) at a GPU frequency (separate power plane)."""
+    _require_gpu_freq(freq_ghz)
+    return _GPU_V0 + _GPU_V1 * freq_ghz
+
+
+def cpu_pstate_index(freq_ghz: float) -> int:
+    """Index of a CPU frequency in :data:`CPU_FREQS_GHZ` (0 = slowest)."""
+    _require_cpu_freq(freq_ghz)
+    return int(np.argmin(np.abs(np.asarray(CPU_FREQS_GHZ) - freq_ghz)))
+
+
+def gpu_pstate_index(freq_ghz: float) -> int:
+    """Index of a GPU frequency in :data:`GPU_FREQS_GHZ` (0 = slowest)."""
+    _require_gpu_freq(freq_ghz)
+    return int(np.argmin(np.abs(np.asarray(GPU_FREQS_GHZ) - freq_ghz)))
+
+
+def _require_cpu_freq(freq_ghz: float) -> None:
+    if not any(abs(freq_ghz - f) < 1e-9 for f in CPU_FREQS_GHZ):
+        raise ValueError(
+            f"{freq_ghz} GHz is not a CPU P-state; valid: {CPU_FREQS_GHZ}"
+        )
+
+
+def _require_gpu_freq(freq_ghz: float) -> None:
+    if not any(abs(freq_ghz - f) < 1e-9 for f in GPU_FREQS_GHZ):
+        raise ValueError(
+            f"{freq_ghz} GHz is not a GPU P-state; valid: {GPU_FREQS_GHZ}"
+        )

@@ -1,0 +1,165 @@
+"""Thermal model and opportunistic overclocking (paper Section VI).
+
+The paper's future-work list includes a hardware feature it deliberately
+left out of the configuration space: "opportunistic overclocking.  This
+feature allows the CPU to increase its frequency beyond user-selectable
+levels, but only when there is enough thermal headroom; if the chip is
+too hot, such frequency boosting will not engage."  (The real A10-5800K
+boosts from 3.8 to 4.2 GHz.)
+
+This module implements that feature as an optional machine capability:
+
+* :class:`ThermalModel` — steady-state die temperature from total chip
+  power via a lumped thermal resistance,
+  :math:`T = T_{ambient} + R_{th} P`;
+* :class:`BoostPolicy` — when enabled on the :class:`TrinityAPU`, CPU
+  configurations at the top software P-state (3.7 GHz) opportunistically
+  boost toward :attr:`BoostPolicy.boost_freq_ghz`.  The boost *duty
+  cycle* is limited by thermal headroom: a kernel whose boosted power
+  would keep the die under ``t_max_c`` boosts continuously; a hot kernel
+  boosts only for the fraction of time that keeps the average die
+  temperature at the limit; a kernel already at the limit gets no boost
+  at all.
+
+The effective frequency and power are duty-cycle blends of the base and
+boosted operating points, which is how real boost governors average out
+over kernel-scale intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import pstates
+
+__all__ = ["ThermalModel", "BoostPolicy", "BoostOutcome"]
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Lumped steady-state thermal model of the package.
+
+    Attributes
+    ----------
+    ambient_c:
+        Case/ambient temperature (deg C).
+    r_th_c_per_w:
+        Junction-to-ambient thermal resistance (deg C per watt).
+    t_max_c:
+        Maximum allowed die temperature; boost must keep the average
+        temperature at or below this.
+    """
+
+    ambient_c: float = 40.0
+    r_th_c_per_w: float = 0.9
+    t_max_c: float = 75.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0:
+            raise ValueError("r_th_c_per_w must be positive")
+        if self.t_max_c <= self.ambient_c:
+            raise ValueError("t_max_c must exceed ambient_c")
+
+    def steady_temp_c(self, power_w: float) -> float:
+        """Steady-state die temperature at a given total chip power."""
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        return self.ambient_c + self.r_th_c_per_w * power_w
+
+    def headroom_w(self, power_w: float) -> float:
+        """Additional watts sustainable before hitting ``t_max_c``
+        (negative when already over the limit)."""
+        return (self.t_max_c - self.steady_temp_c(power_w)) / self.r_th_c_per_w
+
+
+@dataclass(frozen=True)
+class BoostOutcome:
+    """Result of applying opportunistic boost to one operating point.
+
+    Attributes
+    ----------
+    duty_cycle:
+        Fraction of time spent at the boosted frequency (0 = boost never
+        engages, 1 = continuous boost).
+    effective_freq_ghz:
+        Duty-cycle-weighted CPU frequency.
+    time_scale:
+        Multiplier on the compute-bound portion's execution time
+        (< 1 when boosting).
+    power_delta_w:
+        Additional average power drawn by boosting.
+    """
+
+    duty_cycle: float
+    effective_freq_ghz: float
+    time_scale: float
+    power_delta_w: float
+
+
+@dataclass(frozen=True)
+class BoostPolicy:
+    """Opportunistic-overclocking configuration.
+
+    Attributes
+    ----------
+    boost_freq_ghz:
+        The hardware boost frequency (A10-5800K: 4.2 GHz).
+    thermal:
+        The thermal model gating the boost.
+    extra_power_w_at_full:
+        Additional chip power at continuous boost with all cores active
+        (scales with the active-core fraction).  A first-order stand-in
+        for the voltage bump the boost P-state carries.
+    """
+
+    boost_freq_ghz: float = 4.2
+    thermal: ThermalModel = ThermalModel()
+    extra_power_w_at_full: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.boost_freq_ghz <= pstates.CPU_MAX_FREQ_GHZ:
+            raise ValueError(
+                "boost_freq_ghz must exceed the top software P-state "
+                f"({pstates.CPU_MAX_FREQ_GHZ} GHz)"
+            )
+        if self.extra_power_w_at_full < 0:
+            raise ValueError("extra_power_w_at_full must be non-negative")
+
+    def evaluate(
+        self,
+        base_power_w: float,
+        n_active_cores: int,
+        compute_fraction: float,
+    ) -> BoostOutcome:
+        """Boost outcome for a kernel whose un-boosted operating point
+        draws ``base_power_w`` with ``n_active_cores`` active and whose
+        runtime is ``compute_fraction`` frequency-sensitive.
+
+        The duty cycle is the largest fraction of time at boost that
+        keeps the *average* die temperature at or below the thermal
+        limit.
+        """
+        if not 0.0 <= compute_fraction <= 1.0:
+            raise ValueError("compute_fraction must be in [0, 1]")
+        if not 1 <= n_active_cores <= pstates.N_CORES:
+            raise ValueError("n_active_cores out of range")
+
+        extra = self.extra_power_w_at_full * n_active_cores / pstates.N_CORES
+        headroom = self.thermal.headroom_w(base_power_w)
+        if headroom <= 0 or extra == 0:
+            duty = 0.0 if extra > 0 else (1.0 if headroom > 0 else 0.0)
+        else:
+            duty = min(1.0, headroom / extra)
+
+        f_base = pstates.CPU_MAX_FREQ_GHZ
+        f_eff = f_base + duty * (self.boost_freq_ghz - f_base)
+        # Compute-bound time scales inversely with frequency; the
+        # memory-bound remainder is unaffected.
+        compute_scale = f_base / f_eff
+        time_scale = compute_fraction * compute_scale + (1.0 - compute_fraction)
+        return BoostOutcome(
+            duty_cycle=duty,
+            effective_freq_ghz=f_eff,
+            time_scale=time_scale,
+            power_delta_w=duty * extra,
+        )

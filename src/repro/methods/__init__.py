@@ -1,0 +1,25 @@
+"""Power-limiting methods under comparison (paper Section V).
+
+``Model`` and ``Model+FL`` are the paper's contribution;
+``CPU+FL``/``GPU+FL`` are the state-of-the-practice frequency-limiting
+baselines; the ``Oracle`` is the perfect-knowledge reference all metrics
+are normalized to.
+"""
+
+from repro.methods.base import MethodDecision, PowerLimitMethod
+from repro.methods.freq_limit import CpuFrequencyLimiting, GpuFrequencyLimiting
+from repro.methods.model_method import ModelMethod, ModelPlusFL
+from repro.methods.oracle import Oracle
+from repro.methods.search import ExhaustiveSearch, HillClimbing
+
+__all__ = [
+    "CpuFrequencyLimiting",
+    "ExhaustiveSearch",
+    "GpuFrequencyLimiting",
+    "HillClimbing",
+    "MethodDecision",
+    "ModelMethod",
+    "ModelPlusFL",
+    "Oracle",
+    "PowerLimitMethod",
+]

@@ -1,0 +1,63 @@
+"""The oracle: exhaustive ground-truth configuration selection.
+
+Paper Section V-B: every method is compared "against an oracle with
+perfect knowledge".  The oracle sees the simulator's deterministic
+ground truth for every configuration and picks the highest-performance
+configuration whose true power respects the cap.  It also supplies the
+per-kernel power caps used throughout the evaluation: "the specific
+power constraints correspond to the power consumption levels at the
+configurations on the oracle-selected power-performance frontier".
+"""
+
+from __future__ import annotations
+
+from repro.core.frontier import FrontierPoint, ParetoFrontier
+from repro.hardware.apu import TrinityAPU
+from repro.methods.base import MethodDecision, PowerLimitMethod
+
+__all__ = ["Oracle"]
+
+
+class Oracle(PowerLimitMethod):
+    """Perfect-knowledge selection from ground truth.
+
+    Parameters
+    ----------
+    apu:
+        The machine; the oracle reads its ``true_*`` interfaces.
+    """
+
+    name = "Oracle"
+
+    def __init__(self, apu: TrinityAPU) -> None:
+        self.apu = apu
+        self._frontiers: dict[int, ParetoFrontier] = {}
+
+    def true_frontier(self, kernel) -> ParetoFrontier:
+        """The kernel's ground-truth Pareto frontier (cached)."""
+        key = id(kernel)
+        if key not in self._frontiers:
+            points = [
+                FrontierPoint(
+                    config=cfg,
+                    power_w=self.apu.true_total_power_w(kernel, cfg),
+                    performance=self.apu.true_performance(kernel, cfg),
+                )
+                for cfg in self.apu.config_space
+            ]
+            self._frontiers[key] = ParetoFrontier(points)
+        return self._frontiers[key]
+
+    def caps_for(self, kernel) -> list[float]:
+        """The evaluation's power caps for a kernel: the power levels of
+        its oracle-frontier configurations (Section V-B)."""
+        return [p.power_w for p in self.true_frontier(kernel)]
+
+    def decide(self, kernel, power_cap_w: float) -> MethodDecision:
+        """Best true-performance configuration whose true power fits."""
+        best = self.true_frontier(kernel).best_under_cap(power_cap_w)
+        if best is None:
+            # Even an oracle must run the kernel somewhere: the
+            # lowest-power configuration is the least-bad violation.
+            best = self.true_frontier(kernel)[0]
+        return MethodDecision(config=best.config, online_runs=0)

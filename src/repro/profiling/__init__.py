@@ -1,0 +1,32 @@
+"""Profiling substrate — instrumented measurement of kernel executions.
+
+Reproduces the paper's integrated profiling library (Section III-D):
+1 kHz on-chip power sampling with trapezoidal energy integration
+(:mod:`~repro.profiling.sampler`), per-kernel profile records and a
+runtime-accessible measurement history (:mod:`~repro.profiling.records`),
+the instrumentation layer itself (:mod:`~repro.profiling.library`), and
+on-disk persistence (:mod:`~repro.profiling.io`).
+"""
+
+from repro.profiling.io import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+)
+from repro.profiling.library import COUNTER_READ_OVERHEAD_S, ProfilingLibrary
+from repro.profiling.records import KernelProfile, ProfileDatabase
+from repro.profiling.sampler import PowerSampler, SampledPower
+
+__all__ = [
+    "COUNTER_READ_OVERHEAD_S",
+    "KernelProfile",
+    "PowerSampler",
+    "ProfileDatabase",
+    "ProfilingLibrary",
+    "SampledPower",
+    "database_from_json",
+    "database_to_json",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,116 @@
+"""The integrated profiling library (paper Section III-D).
+
+:class:`ProfilingLibrary` is the instrumentation layer between the
+machine and the modeling pipeline.  A profiled execution:
+
+1. runs the kernel (simulated) on the requested configuration;
+2. estimates per-plane power by sampling the on-chip estimator at
+   1 kHz and integrating (:mod:`repro.profiling.sampler`), charging the
+   sampling overhead to the measured execution time;
+3. reads performance counters at kernel start/finish (the paper bounds
+   this at < 50 microseconds per kernel);
+4. records the profile into a :class:`ProfileDatabase` history.
+
+Everything downstream — Pareto frontiers, clustering, regression, the
+classification tree — consumes only what this library records, exactly
+as the paper's pipeline consumes only PAPI counters and integrated
+power estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.apu import Measurement, TrinityAPU
+from repro.hardware.config import Configuration
+from repro.hardware.counters import synthesize_counters
+from repro.profiling.records import KernelProfile, ProfileDatabase
+from repro.profiling.sampler import PowerSampler
+
+__all__ = ["ProfilingLibrary"]
+
+#: Counter read cost at kernel start + finish (paper: < 50 us).
+COUNTER_READ_OVERHEAD_S: float = 50e-6
+
+
+class ProfilingLibrary:
+    """Instrumented kernel execution with power sampling and history.
+
+    Parameters
+    ----------
+    apu:
+        The machine to run on.
+    sampler:
+        Power sampling model (defaults to the paper's 1 kHz).
+    seed:
+        Seed of the library's measurement-noise stream.  Two libraries
+        with equal seeds produce identical profiles for identical call
+        sequences.
+    """
+
+    def __init__(
+        self,
+        apu: TrinityAPU,
+        *,
+        sampler: PowerSampler | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.apu = apu
+        self.sampler = sampler if sampler is not None else PowerSampler()
+        self.database = ProfileDatabase()
+        self._rng = np.random.default_rng(seed)
+
+    def profile(
+        self,
+        kernel,
+        config: Configuration,
+        *,
+        kernel_uid: str | None = None,
+    ) -> KernelProfile:
+        """Execute ``kernel`` once on ``config`` and record the profile.
+
+        ``kernel`` may be a :class:`repro.workloads.Kernel` (its
+        :attr:`~repro.workloads.Kernel.uid` names the record) or raw
+        :class:`~repro.hardware.KernelCharacteristics` with an explicit
+        ``kernel_uid``.
+        """
+        uid = kernel_uid if kernel_uid is not None else getattr(kernel, "uid", None)
+        if not uid:
+            raise ValueError(
+                "kernel has no uid; pass kernel_uid= for raw characteristics"
+            )
+
+        true_t = self.apu.true_time_s(kernel, config)
+        true_pb = self.apu.true_power(kernel, config)
+
+        # Integrate each power plane from its own sampled trace.
+        cpu_sp = self.sampler.sample(true_pb.cpu_plane_w, true_t, self._rng)
+        nbgpu_sp = self.sampler.sample(true_pb.nbgpu_plane_w, true_t, self._rng)
+        sampling_overhead = cpu_sp.overhead_s + COUNTER_READ_OVERHEAD_S
+
+        # Timing measurement includes instrumentation overhead plus the
+        # machine's run-to-run noise.
+        noisy_t = self.apu.noise.perturb_time(true_t, self._rng)
+        measured_t = noisy_t + sampling_overhead
+
+        chars = kernel if not hasattr(kernel, "characteristics") else (
+            kernel.characteristics
+        )
+        counters = self.apu.noise.perturb_counters(
+            synthesize_counters(chars, config), self._rng
+        )
+        measurement = Measurement(
+            config=config,
+            time_s=measured_t,
+            cpu_plane_w=cpu_sp.mean_power_w,
+            nbgpu_plane_w=nbgpu_sp.mean_power_w,
+            counters=counters,
+        )
+        return self.database.record(
+            uid, measurement, sampling_overhead_s=sampling_overhead
+        )
+
+    def profile_all_configs(self, kernel) -> list[KernelProfile]:
+        """Profile a kernel on every machine configuration — the offline
+        exhaustive characterization applied to training kernels."""
+        return [self.profile(kernel, cfg) for cfg in self.apu.config_space]

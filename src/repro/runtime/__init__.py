@@ -1,0 +1,33 @@
+"""Application-level runtime — the paper's "foundation for dynamic
+scheduling" (Section III-D) realized end to end.
+
+:class:`Application` models a benchmark as an ordered kernel sequence
+invoked once per timestep; :class:`AdaptiveRuntime` executes it under a
+(possibly time-varying) power cap with the paper's online protocol —
+first two invocations on the sample configurations, model-scheduled
+configurations afterwards, frontier-lookup-only reaction to cap
+changes.  :class:`StaticRuntime` and :class:`OracleRuntime` are the
+comparison baselines; :class:`ApplicationTrace` records what ran.
+"""
+
+from repro.runtime.adaptive import (
+    AdaptiveRuntime,
+    CapSchedule,
+    OracleRuntime,
+    StaticRuntime,
+)
+from repro.runtime.application import Application
+from repro.runtime.energy import EnergySchedule, optimize_energy_budget
+from repro.runtime.trace import ApplicationTrace, KernelExecution
+
+__all__ = [
+    "AdaptiveRuntime",
+    "Application",
+    "ApplicationTrace",
+    "CapSchedule",
+    "EnergySchedule",
+    "KernelExecution",
+    "OracleRuntime",
+    "StaticRuntime",
+    "optimize_energy_budget",
+]

@@ -1,0 +1,233 @@
+"""The adaptive runtime: whole applications under (dynamic) power caps.
+
+The paper positions its profiling library as "a foundation for dynamic
+scheduling" (Section III-D) and notes that predicted Pareto frontiers
+make the system "adaptable to dynamic power constraints" (Section
+III-C).  :class:`AdaptiveRuntime` realizes that runtime:
+
+* **timestep loop** — each timestep invokes every application kernel
+  once, in order (Section III-A's sequential-kernel assumption);
+* **online protocol** — a kernel's first invocation runs on the CPU
+  sample configuration, its second on the GPU sample configuration
+  (Table II); both are ordinary application work whose time and energy
+  are charged to the run (Section IV-C).  After the second invocation
+  the kernel is classified and its whole-space prediction cached;
+* **scheduling** — from the third invocation on, the kernel runs on the
+  configuration the scheduler picks from its cached prediction for the
+  *current* cap.  Cap changes between timesteps cost one frontier
+  lookup per kernel — no new measurements;
+* **re-sampling on input change** — Section VI observes the system
+  "does not automatically differentiate between invocations of the same
+  kernel with distinct data inputs"; our kernels are keyed by
+  (benchmark, input, name), so a changed input is a new kernel uid and
+  automatically re-enters the sample protocol.
+
+Baselines for comparison: :class:`StaticRuntime` (one fixed
+configuration for everything) and :class:`OracleRuntime` (ground-truth
+best configuration per kernel per cap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.model import AdaptiveModel
+from repro.core.predictor import KernelPrediction
+from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.core.scheduler import Scheduler
+from repro.hardware.config import Configuration
+from repro.hardware.rapl import FrequencyLimiter
+from repro.methods.oracle import Oracle
+from repro.profiling.library import ProfilingLibrary
+from repro.runtime.application import Application
+from repro.runtime.trace import ApplicationTrace, KernelExecution
+from repro.workloads.kernel import Kernel
+
+__all__ = ["AdaptiveRuntime", "StaticRuntime", "OracleRuntime", "CapSchedule"]
+
+#: A power cap per timestep: constant, or a function of the timestep.
+CapSchedule = float | Callable[[int], float]
+
+
+def _cap_at(cap: CapSchedule, timestep: int) -> float:
+    value = cap(timestep) if callable(cap) else cap
+    if value <= 0:
+        raise ValueError(f"power cap at timestep {timestep} must be positive")
+    return float(value)
+
+
+class AdaptiveRuntime:
+    """Model-driven application runtime (the paper's system, end to end).
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`AdaptiveModel` (train it without the
+        application's benchmark for honest evaluation).
+    library:
+        Profiling library executing and recording every invocation.
+    scheduler:
+        Selection policy (defaults to maximize-performance).
+    risk_averse:
+        Use prediction-confidence bounds when scheduling (Section VI).
+    frequency_limiter:
+        Combine the model with RAPL-style frequency limiting — the
+        paper's winning ``Model+FL`` method (Section V-A) at application
+        level.  After the model commits a kernel to a device/thread
+        configuration, the limiter walks frequency down if measured
+        power still violates the cap; the refined configuration is
+        remembered per (kernel, cap) so the limiter's step-down runs
+        pay off across timesteps.
+    """
+
+    def __init__(
+        self,
+        model: AdaptiveModel,
+        library: ProfilingLibrary,
+        *,
+        scheduler: Scheduler | None = None,
+        risk_averse: bool = False,
+        frequency_limiter: bool = False,
+    ) -> None:
+        self.model = model
+        self.library = library
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.risk_averse = risk_averse
+        self._predictions: dict[str, KernelPrediction] = {}
+        self._limiter = (
+            FrequencyLimiter(library.apu) if frequency_limiter else None
+        )
+        self._limited: dict[tuple[str, float], Configuration] = {}
+
+    def run(
+        self,
+        application: Application,
+        n_timesteps: int,
+        power_cap_w: CapSchedule,
+    ) -> ApplicationTrace:
+        """Execute ``n_timesteps`` of the application under the cap
+        schedule and return the full trace."""
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        trace = ApplicationTrace(application=application.name)
+        for t in range(n_timesteps):
+            cap = _cap_at(power_cap_w, t)
+            for kernel in application.kernels:
+                trace.record(self._invoke(kernel, t, cap))
+        return trace
+
+    def _invoke(self, kernel: Kernel, timestep: int, cap: float) -> KernelExecution:
+        seen = self.library.database.iterations(kernel.uid)
+        if seen == 0:
+            cfg, phase = CPU_SAMPLE, "sample-cpu"
+        elif seen == 1:
+            cfg, phase = GPU_SAMPLE, "sample-gpu"
+        else:
+            prediction = self._prediction_for(kernel)
+            decision = self.scheduler.select(
+                prediction, cap, risk_averse=self.risk_averse
+            )
+            cfg, phase = decision.config, "scheduled"
+            if self._limiter is not None:
+                key = (kernel.uid, cap)
+                if key not in self._limited:
+                    result = self._limiter.limit(kernel, cfg, cap)
+                    self._limited[key] = result.final_config
+                cfg = self._limited[key]
+        profile = self.library.profile(kernel, cfg)
+        m = profile.measurement
+        return KernelExecution(
+            timestep=timestep,
+            kernel_uid=kernel.uid,
+            config=cfg,
+            time_s=m.time_s,
+            power_w=m.total_power_w,
+            power_cap_w=cap,
+            phase=phase,
+        )
+
+    def _prediction_for(self, kernel: Kernel) -> KernelPrediction:
+        if kernel.uid not in self._predictions:
+            history = self.library.database.for_kernel(kernel.uid)
+            cpu_m = next(
+                p.measurement for p in history if p.config == CPU_SAMPLE
+            )
+            gpu_m = next(
+                p.measurement for p in history if p.config == GPU_SAMPLE
+            )
+            self._predictions[kernel.uid] = self.model.predict_kernel(
+                cpu_m,
+                gpu_m,
+                kernel_uid=kernel.uid,
+                with_uncertainty=self.risk_averse,
+            )
+        return self._predictions[kernel.uid]
+
+
+class StaticRuntime:
+    """Baseline: every kernel on one fixed configuration, cap-blind."""
+
+    def __init__(self, library: ProfilingLibrary, config: Configuration) -> None:
+        self.library = library
+        self.config = config
+
+    def run(
+        self,
+        application: Application,
+        n_timesteps: int,
+        power_cap_w: CapSchedule,
+    ) -> ApplicationTrace:
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        trace = ApplicationTrace(application=application.name)
+        for t in range(n_timesteps):
+            cap = _cap_at(power_cap_w, t)
+            for kernel in application.kernels:
+                m = self.library.profile(kernel, self.config).measurement
+                trace.record(
+                    KernelExecution(
+                        timestep=t,
+                        kernel_uid=kernel.uid,
+                        config=self.config,
+                        time_s=m.time_s,
+                        power_w=m.total_power_w,
+                        power_cap_w=cap,
+                        phase="static",
+                    )
+                )
+        return trace
+
+
+class OracleRuntime:
+    """Baseline: ground-truth best configuration per kernel per cap."""
+
+    def __init__(self, library: ProfilingLibrary) -> None:
+        self.library = library
+        self._oracle = Oracle(library.apu)
+
+    def run(
+        self,
+        application: Application,
+        n_timesteps: int,
+        power_cap_w: CapSchedule,
+    ) -> ApplicationTrace:
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        trace = ApplicationTrace(application=application.name)
+        for t in range(n_timesteps):
+            cap = _cap_at(power_cap_w, t)
+            for kernel in application.kernels:
+                cfg = self._oracle.decide(kernel, cap).config
+                m = self.library.profile(kernel, cfg).measurement
+                trace.record(
+                    KernelExecution(
+                        timestep=t,
+                        kernel_uid=kernel.uid,
+                        config=cfg,
+                        time_s=m.time_s,
+                        power_w=m.total_power_w,
+                        power_cap_w=cap,
+                        phase="oracle",
+                    )
+                )
+        return trace

@@ -1,0 +1,54 @@
+"""Applications: ordered kernel sequences executed per timestep.
+
+The paper's benchmarks are real applications whose kernels "execute
+sequentially" (Section III-A): each simulation timestep invokes every
+kernel once, in order.  An :class:`Application` captures that structure
+so the runtime can execute whole programs, not isolated kernels —
+including the paper's protocol detail that a kernel's first two
+*invocations* double as its sample-configuration runs (Section IV-C:
+"the sample configuration iterations are part of normal application
+execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.kernel import Kernel
+from repro.workloads.suite import Suite
+
+__all__ = ["Application"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """One application: a named, ordered sequence of kernels.
+
+    Attributes
+    ----------
+    name:
+        Application name (e.g. ``"LULESH Small"``).
+    kernels:
+        The kernels invoked, in order, once per timestep.
+    """
+
+    name: str
+    kernels: tuple[Kernel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application name must be non-empty")
+        if not self.kernels:
+            raise ValueError("application needs at least one kernel")
+        uids = [k.uid for k in self.kernels]
+        if len(set(uids)) != len(uids):
+            raise ValueError("duplicate kernels in application sequence")
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    @staticmethod
+    def from_suite(suite: Suite, group: str) -> "Application":
+        """Build the application for one benchmark/input group of the
+        suite (e.g. ``"LULESH Small"``), kernels in suite order."""
+        return Application(name=group, kernels=tuple(suite.for_group(group)))

@@ -1,0 +1,51 @@
+"""From-scratch statistical-learning substrate.
+
+The paper's modeling pipeline was built on R 3.0.1: multivariate linear
+regression (``lm``), relational clustering on a dissimilarity matrix (the
+Fossil package), and a CART classification tree (``rpart``).  None of those
+are available in this offline environment, so this subpackage provides
+faithful NumPy implementations of each building block:
+
+``ols``
+    Multivariate ordinary least squares with optional intercept,
+    coefficient standard errors, and :math:`R^2`.
+``kendall``
+    Kendall rank correlation (tau-a and tau-b) used to compare the
+    orderings of shared configurations on two Pareto frontiers.
+``kmedoids``
+    Partitioning Around Medoids (PAM) operating directly on a
+    dissimilarity matrix — i.e. *relational* clustering — plus silhouette
+    scoring for choosing the cluster count.
+``agglomerative``
+    Average-linkage hierarchical clustering on a dissimilarity matrix, as
+    an alternative relational clusterer.
+``cart``
+    A CART classification tree (Gini impurity) with a printable structure
+    mirroring the paper's Figure 3.
+``crossval``
+    Leave-one-group-out splitting used for the paper's
+    leave-one-benchmark-out cross-validation.
+
+All estimators are deterministic given their inputs (PAM's BUILD phase is
+deterministic; optional random restarts take an explicit seed).
+"""
+
+from repro.stats.agglomerative import average_linkage_labels
+from repro.stats.cart import ClassificationTree, TreeNode
+from repro.stats.crossval import leave_one_group_out
+from repro.stats.kendall import kendall_tau
+from repro.stats.kmedoids import KMedoidsResult, pam, silhouette_score
+from repro.stats.ols import OLSModel, fit_ols
+
+__all__ = [
+    "ClassificationTree",
+    "KMedoidsResult",
+    "OLSModel",
+    "TreeNode",
+    "average_linkage_labels",
+    "fit_ols",
+    "kendall_tau",
+    "leave_one_group_out",
+    "pam",
+    "silhouette_score",
+]

@@ -1,0 +1,75 @@
+"""Average-linkage hierarchical clustering on a dissimilarity matrix.
+
+An alternative relational clusterer to PAM (:mod:`repro.stats.kmedoids`).
+The R ``fossil`` package the paper used wraps standard relational
+clustering; hierarchical average linkage is the other classic choice and
+is exposed so the clustering stage of the pipeline can be swapped (see
+``repro.core.clustering.cluster_kernels(method="average")`` and the
+cluster-count ablation benchmark).
+
+Implemented as naive Lance–Williams agglomeration: :math:`O(n^3)` overall,
+which is irrelevant at this package's scale (tens of kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_linkage_labels"]
+
+
+def average_linkage_labels(D: np.ndarray, k: int) -> np.ndarray:
+    """Cut an average-linkage dendrogram into ``k`` flat clusters.
+
+    Parameters
+    ----------
+    D:
+        ``(n, n)`` symmetric non-negative dissimilarity matrix.
+    k:
+        Desired number of flat clusters, ``1 <= k <= n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` integer labels in ``[0, k)``, renumbered in order of
+        first appearance.
+    """
+    D = np.asarray(D, dtype=float)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValueError(f"dissimilarity matrix must be square, got {D.shape}")
+    n = D.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n} points")
+
+    # Active clusters: mapping cluster id -> member indices.
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    # Working inter-cluster distance matrix (average linkage).
+    dist = D.copy().astype(float)
+    np.fill_diagonal(dist, np.inf)
+    active = list(range(n))
+
+    while len(active) > k:
+        # Find the closest active pair.
+        sub = dist[np.ix_(active, active)]
+        flat = int(np.argmin(sub))
+        ai, aj = divmod(flat, len(active))
+        i, j = active[ai], active[aj]
+        if i > j:
+            i, j = j, i
+        ni, nj = len(members[i]), len(members[j])
+        # Lance-Williams update for average linkage: merged-cluster
+        # distance is the size-weighted mean of the two parents.
+        for m in active:
+            if m in (i, j):
+                continue
+            dist[i, m] = dist[m, i] = (ni * dist[i, m] + nj * dist[j, m]) / (ni + nj)
+        members[i].extend(members[j])
+        del members[j]
+        active.remove(j)
+        dist[j, :] = np.inf
+        dist[:, j] = np.inf
+
+    labels = np.empty(n, dtype=int)
+    for new_id, cid in enumerate(sorted(members, key=lambda c: min(members[c]))):
+        labels[members[cid]] = new_id
+    return labels

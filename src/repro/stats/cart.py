@@ -1,0 +1,314 @@
+"""CART classification tree (Gini impurity).
+
+The paper trains "a classification tree [36]" (Breiman et al., CART) on
+performance-counter and power data gathered at the two sample
+configurations, and uses it online to assign each new kernel to one of
+the offline clusters (Section III-B, Figure 3).  This is a compact,
+deterministic implementation of axis-aligned binary splitting:
+
+* splits minimize weighted Gini impurity;
+* candidate thresholds are midpoints between consecutive distinct sorted
+  feature values;
+* stopping: pure node, ``max_depth``, ``min_samples_split``,
+  ``min_samples_leaf``, or no impurity-reducing split;
+* ties are broken by lowest feature index, then lowest threshold, so the
+  fit is fully deterministic.
+
+:meth:`ClassificationTree.render` produces a text rendering in the spirit
+of the paper's Figure 3 (feature comparisons at internal nodes, cluster
+ids at leaves), used by the Figure 3 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClassificationTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A node of the fitted tree.
+
+    Internal nodes carry ``feature``/``threshold`` and children; leaves
+    carry ``prediction``.  ``class_counts`` is retained on every node for
+    introspection and confidence reporting.
+    """
+
+    depth: int
+    n_samples: int
+    class_counts: np.ndarray
+    prediction: int
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node carries a prediction (no split)."""
+        return self.feature is None
+
+    @property
+    def purity(self) -> float:
+        """Fraction of samples at this node belonging to the majority class."""
+        total = self.class_counts.sum()
+        return float(self.class_counts.max() / total) if total else 0.0
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class ClassificationTree:
+    """Axis-aligned binary classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root is depth 0).
+    min_samples_split:
+        Minimum samples required at a node to consider splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain for a split to be valid.
+    feature_names:
+        Optional labels used by :meth:`render` (defaults to ``x0..xp``).
+
+    Notes
+    -----
+    Class labels may be arbitrary hashables; internally they are encoded
+    to ``0..K-1`` and decoded on prediction.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        feature_names: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_names = tuple(feature_names)
+        self.root: TreeNode | None = None
+        self.classes_: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ClassificationTree":
+        """Fit the tree on ``(n, p)`` features ``X`` and labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X must be finite")
+
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self._n_classes = self.classes_.shape[0]
+        self._n_features = X.shape[1]
+        self.root = self._grow(X, y_enc, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        counts = np.bincount(y, minlength=self._n_classes)
+        node = TreeNode(
+            depth=depth,
+            n_samples=y.shape[0],
+            class_counts=counts,
+            prediction=int(np.argmax(counts)),
+        )
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return node
+
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Exhaustive search for the impurity-minimizing (feature, threshold)."""
+        n = y.shape[0]
+        parent_gini = _gini(counts)
+        best: tuple[float, int, float] | None = None  # (gini, feature, thr)
+
+        for f in range(self._n_features):
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = counts.astype(float).copy()
+            for i in range(n - 1):
+                c = ys[i]
+                left_counts[c] += 1
+                right_counts[c] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue  # cannot split between equal values
+                n_left = i + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                g = (n_left * _gini(left_counts) + n_right * _gini(right_counts)) / n
+                thr = 0.5 * (xs[i] + xs[i + 1])
+                key = (g, f, thr)
+                if best is None or key < best:
+                    best = key
+
+        if best is None or best[0] >= parent_gini - 1e-12:
+            return None
+        return best[1], best[2]
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict class labels for ``(n, p)`` (or a single ``(p,)``) input."""
+        if self.root is None or self.classes_ is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        out = np.empty(X.shape[0], dtype=int)
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        decoded = self.classes_[out]
+        return decoded[0] if single else decoded
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (root = 0)."""
+
+        def _d(node: TreeNode | None) -> int:
+            if node is None or node.is_leaf:
+                return node.depth if node else 0
+            return max(_d(node.left), _d(node.right))
+
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return _d(self.root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+
+        def _n(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return _n(node.left) + _n(node.right)
+
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return _n(self.root)
+
+    # -- pruning -----------------------------------------------------------
+
+    def prune(self, alpha: float) -> "ClassificationTree":
+        """Weakest-link cost-complexity pruning (Breiman et al., ch. 3).
+
+        Collapses every internal node whose per-leaf training-error
+        reduction is worth less than ``alpha`` errors: a subtree rooted
+        at ``t`` survives only if
+
+        .. math::  g(t) = \\frac{R(t) - R(T_t)}{|leaves(T_t)| - 1} > \\alpha
+
+        where :math:`R` counts misclassified training samples.  Applied
+        bottom-up until stable; ``alpha = 0`` removes only splits that
+        buy no training accuracy at all.  Returns ``self``.
+        """
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+
+        def leaf_errors(node: TreeNode) -> int:
+            return node.n_samples - int(node.class_counts.max())
+
+        def subtree_stats(node: TreeNode) -> tuple[int, int]:
+            """(misclassified by subtree's leaves, number of leaves)."""
+            if node.is_leaf:
+                return leaf_errors(node), 1
+            le, ln = subtree_stats(node.left)
+            re, rn = subtree_stats(node.right)
+            return le + re, ln + rn
+
+        def walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            walk(node.left)
+            walk(node.right)
+            sub_err, n_leaves = subtree_stats(node)
+            if n_leaves <= 1:
+                return
+            g = (leaf_errors(node) - sub_err) / (n_leaves - 1)
+            if g <= alpha:
+                node.feature = None
+                node.threshold = None
+                node.left = None
+                node.right = None
+
+        walk(self.root)
+        return self
+
+    # -- reporting ---------------------------------------------------------
+
+    def _feature_name(self, f: int) -> str:
+        if f < len(self.feature_names):
+            return self.feature_names[f]
+        return f"x{f}"
+
+    def render(self) -> str:
+        """Text rendering in the style of the paper's Figure 3."""
+        if self.root is None or self.classes_ is None:
+            raise RuntimeError("tree is not fitted")
+        lines: list[str] = []
+
+        def _walk(node: TreeNode, prefix: str, tag: str) -> None:
+            if node.is_leaf:
+                label = self.classes_[node.prediction]
+                lines.append(
+                    f"{prefix}{tag}cluster {label}  "
+                    f"(n={node.n_samples}, purity={node.purity:.2f})"
+                )
+                return
+            name = self._feature_name(node.feature)
+            lines.append(f"{prefix}{tag}{name} <= {node.threshold:.4g} ?")
+            child_prefix = prefix + ("    " if tag else "")
+            _walk(node.left, child_prefix, "yes: ")
+            _walk(node.right, child_prefix, "no:  ")
+
+        _walk(self.root, "", "")
+        return "\n".join(lines)

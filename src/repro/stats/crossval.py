@@ -1,0 +1,53 @@
+"""Cross-validation splitting.
+
+The paper's evaluation is leave-one-*benchmark*-out (Section V-C): for
+every benchmark, a model is trained on the kernels of all *other*
+benchmarks and validated on the held-out benchmark's kernels.  This is
+leave-one-group-out CV with the benchmark name as the group key.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+__all__ = ["leave_one_group_out"]
+
+
+def leave_one_group_out(
+    groups: Sequence[Hashable],
+) -> Iterator[tuple[Hashable, list[int], list[int]]]:
+    """Yield ``(held_out_group, train_indices, test_indices)`` per group.
+
+    Groups are visited in order of first appearance, so the iteration
+    order is deterministic.
+
+    Parameters
+    ----------
+    groups:
+        Group key for each of the ``n`` items (e.g. the benchmark each
+        kernel belongs to).
+
+    Yields
+    ------
+    tuple
+        The held-out group key, indices of training items (all other
+        groups), and indices of test items (the held-out group).
+
+    Raises
+    ------
+    ValueError
+        If there are fewer than two distinct groups (no split possible).
+    """
+    order: list[Hashable] = []
+    seen: set[Hashable] = set()
+    for g in groups:
+        if g not in seen:
+            seen.add(g)
+            order.append(g)
+    if len(order) < 2:
+        raise ValueError("need at least two distinct groups for leave-one-group-out")
+
+    for held_out in order:
+        train = [i for i, g in enumerate(groups) if g != held_out]
+        test = [i for i, g in enumerate(groups) if g == held_out]
+        yield held_out, train, test

@@ -1,0 +1,81 @@
+"""Kendall rank correlation.
+
+The paper (Section III-B) compares two Pareto frontiers by taking the
+configurations present on *both* frontiers and computing the Kendall rank
+correlation coefficient between the two orderings: identical orders give
++1, exactly reversed orders give −1.
+
+This module implements both tau-a (no tie correction — appropriate when
+comparing two permutations of the same set, the paper's use case) and
+tau-b (tie-corrected, matching :func:`scipy.stats.kendalltau`).  The
+pair-counting loop is :math:`O(n^2)`, which is ideal here: frontiers hold
+at most a few dozen configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+__all__ = ["kendall_tau"]
+
+
+def kendall_tau(
+    x: Sequence[float] | np.ndarray,
+    y: Sequence[float] | np.ndarray,
+    *,
+    variant: Literal["a", "b"] = "b",
+) -> float:
+    """Kendall rank correlation between paired sequences ``x`` and ``y``.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length sequences of comparable values (ranks or raw
+        scores).  Order matters: element ``i`` of ``x`` is paired with
+        element ``i`` of ``y``.
+    variant:
+        ``"a"`` computes :math:`\\tau_a = (C - D) / \\binom{n}{2}` with no
+        tie correction; ``"b"`` divides by the geometric mean of the
+        tie-corrected pair counts.
+
+    Returns
+    -------
+    float
+        The correlation in ``[-1, 1]``.  Returns ``nan`` when fewer than
+        two pairs are supplied or (for tau-b) when either sequence is
+        constant.
+
+    Examples
+    --------
+    >>> kendall_tau([1, 2, 3], [1, 2, 3])
+    1.0
+    >>> kendall_tau([1, 2, 3], [3, 2, 1])
+    -1.0
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"x and y must be equal-length 1-D, got {x.shape}, {y.shape}")
+    n = x.shape[0]
+    if n < 2:
+        return float("nan")
+
+    # Sign of all pairwise differences; vectorized over the n*n grid.
+    dx = np.sign(x[:, np.newaxis] - x[np.newaxis, :])
+    dy = np.sign(y[:, np.newaxis] - y[np.newaxis, :])
+    iu = np.triu_indices(n, k=1)
+    prod = dx[iu] * dy[iu]
+    concordant_minus_discordant = float(np.sum(prod))
+
+    n_pairs = n * (n - 1) / 2
+    if variant == "a":
+        return concordant_minus_discordant / n_pairs
+
+    ties_x = float(np.sum(dx[iu] == 0))
+    ties_y = float(np.sum(dy[iu] == 0))
+    denom = np.sqrt((n_pairs - ties_x) * (n_pairs - ties_y))
+    if denom == 0:
+        return float("nan")
+    return concordant_minus_discordant / denom

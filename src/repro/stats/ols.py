@@ -1,0 +1,218 @@
+"""Multivariate ordinary least squares.
+
+The paper fits two linear-model families per cluster (Section III-B):
+
+* a *performance-ratio* model with **no intercept**,
+  :math:`P_{perf}/S_{perf} = a_1 x_1 + \\dots + a_n x_n`, and
+* a *power* model **with intercept**,
+  :math:`P_{power} = b_0 + b_1 x_1 + \\dots + b_n x_n`,
+
+where the :math:`x_i` are configuration variables and their first-order
+interactions.  Both reduce to OLS on a design matrix; this module provides
+that shared core via :func:`numpy.linalg.lstsq` (which is robust to
+rank-deficient designs, e.g. an interaction column that is constant for
+one device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OLSModel", "fit_ols"]
+
+
+@dataclass(frozen=True)
+class OLSModel:
+    """A fitted least-squares linear model.
+
+    Attributes
+    ----------
+    coef:
+        Coefficients, one per design-matrix column (the intercept, when
+        fitted, is ``coef[0]`` and ``intercept`` is True).
+    intercept:
+        Whether the first coefficient is an intercept term.
+    r_squared:
+        Coefficient of determination on the training data.  For
+        no-intercept models this is the *uncentered* :math:`R^2`
+        (relative to the zero model), matching standard practice.
+    std_errors:
+        Coefficient standard errors (NaN where not estimable, e.g. when
+        the design is rank deficient or residual dof is 0).
+    n_obs:
+        Number of training observations.
+    rank:
+        Numerical rank of the design matrix.
+    feature_names:
+        Optional column labels for reporting.
+    """
+
+    coef: np.ndarray
+    intercept: bool
+    r_squared: float
+    std_errors: np.ndarray
+    n_obs: int
+    rank: int
+    feature_names: tuple[str, ...] = field(default=())
+    sigma2: float = float("nan")
+    xtx_pinv: np.ndarray | None = None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the model on design matrix ``X`` (without intercept
+        column; one is prepended automatically when the model has one)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if self.intercept:
+            X = np.hstack([np.ones((X.shape[0], 1)), X])
+        if X.shape[1] != self.coef.shape[0]:
+            raise ValueError(
+                f"design matrix has {X.shape[1]} columns, model expects "
+                f"{self.coef.shape[0]}"
+            )
+        return X @ self.coef
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Standard deviation of the *prediction* at each row of ``X``.
+
+        Includes both coefficient uncertainty and residual noise:
+        :math:`\\sqrt{\\hat\\sigma^2 (1 + x^T (A^T A)^+ x)}`.  Returns
+        NaN where the residual variance was not estimable (zero
+        residual degrees of freedom).
+
+        The paper's future-work section (VI) proposes using prediction
+        confidence to avoid risky configurations; this is the quantity
+        that enables it (see ``Scheduler.select(..., risk_averse=True)``).
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if self.intercept:
+            X = np.hstack([np.ones((X.shape[0], 1)), X])
+        if X.shape[1] != self.coef.shape[0]:
+            raise ValueError(
+                f"design matrix has {X.shape[1]} columns, model expects "
+                f"{self.coef.shape[0]}"
+            )
+        if self.xtx_pinv is None or np.isnan(self.sigma2):
+            return np.full(X.shape[0], np.nan)
+        leverage = np.einsum("ij,jk,ik->i", X, self.xtx_pinv, X)
+        return np.sqrt(self.sigma2 * (1.0 + np.maximum(leverage, 0.0)))
+
+    def summary(self) -> str:
+        """Human-readable coefficient table."""
+        names = list(self.feature_names)
+        ncoef = self.coef.shape[0]
+        if self.intercept:
+            names = ["(intercept)"] + names
+        while len(names) < ncoef:
+            names.append(f"x{len(names)}")
+        width = max(len(n) for n in names)
+        lines = [f"OLS: n={self.n_obs}  rank={self.rank}  R^2={self.r_squared:.4f}"]
+        for name, c, se in zip(names, self.coef, self.std_errors):
+            lines.append(f"  {name:<{width}}  {c:+12.6g}  (se {se:.4g})")
+        return "\n".join(lines)
+
+
+def fit_ols(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    intercept: bool = True,
+    feature_names: tuple[str, ...] | list[str] = (),
+    ridge: float = 0.0,
+) -> OLSModel:
+    """Fit (optionally ridge-regularized) least squares ``y ~ X``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, p)`` design matrix (no intercept column — pass
+        ``intercept=True`` to add one).
+    y:
+        ``(n,)`` response vector.
+    intercept:
+        Whether to prepend a constant column.
+    feature_names:
+        Optional labels for the ``p`` feature columns.
+    ridge:
+        L2 penalty ``lambda >= 0`` on the non-intercept coefficients.
+        Implemented by row augmentation (``sqrt(lambda) * I`` pseudo-
+        observations), so the same lstsq path and diagnostics apply.
+        The intercept is never penalized.
+
+    Returns
+    -------
+    OLSModel
+
+    Raises
+    ------
+    ValueError
+        If shapes are inconsistent or there are no observations.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim == 1:
+        X = X[:, np.newaxis]
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError(f"y shape {y.shape} incompatible with X shape {X.shape}")
+    n = X.shape[0]
+    if n == 0:
+        raise ValueError("cannot fit OLS with zero observations")
+    if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+        raise ValueError("X and y must be finite")
+    if ridge < 0:
+        raise ValueError("ridge must be non-negative")
+
+    A = np.hstack([np.ones((n, 1)), X]) if intercept else X
+    if ridge > 0:
+        # Row augmentation: sqrt(lambda) on each non-intercept column.
+        p_all = A.shape[1]
+        penalty = np.sqrt(ridge) * np.eye(p_all)
+        if intercept:
+            penalty = penalty[1:, :]  # leave the intercept unpenalized
+        A_fit = np.vstack([A, penalty])
+        y_fit = np.concatenate([y, np.zeros(penalty.shape[0])])
+    else:
+        A_fit, y_fit = A, y
+    coef, _, rank, _ = np.linalg.lstsq(A_fit, y_fit, rcond=None)
+
+    fitted = A @ coef
+    resid = y - fitted
+    rss = float(resid @ resid)
+    if intercept:
+        tss = float(np.sum((y - y.mean()) ** 2))
+    else:
+        tss = float(y @ y)
+    r_squared = 1.0 - rss / tss if tss > 0 else (1.0 if rss == 0 else 0.0)
+
+    # Standard errors from (A'A)^+ scaled by residual variance.
+    p = A.shape[1]
+    dof = n - rank
+    std_errors = np.full(p, np.nan)
+    sigma2 = float("nan")
+    xtx_pinv = None
+    if dof > 0:
+        sigma2 = rss / dof
+        try:
+            xtx_pinv = np.linalg.pinv(A.T @ A)
+            diag = np.diag(sigma2 * xtx_pinv)
+            std_errors = np.sqrt(np.where(diag >= 0, diag, np.nan))
+        except np.linalg.LinAlgError:  # pragma: no cover - pinv rarely fails
+            pass
+
+    return OLSModel(
+        coef=coef,
+        intercept=intercept,
+        r_squared=r_squared,
+        std_errors=std_errors,
+        n_obs=n,
+        rank=int(rank),
+        feature_names=tuple(feature_names),
+        sigma2=sigma2,
+        xtx_pinv=xtx_pinv,
+    )

@@ -1,0 +1,49 @@
+"""Synthetic benchmark suite — the workload substrate.
+
+The paper evaluates on OpenMP/OpenCL ports of three DOE exascale proxy
+applications (LULESH, CoMD, SMC) plus Rodinia's LU (Section IV-B): 36
+kernels, 65 benchmark/input combinations.  Without that source code or
+the hardware to run it, this subpackage defines synthetic kernels whose
+latent characteristics (memory-boundedness, Amdahl fraction, GPU
+affinity, launch overhead, switching activity, cache behaviour) are
+sampled per benchmark family from flavour-matched ranges — wide enough
+to reproduce the paper's reported diversity (best-config power 19-55 W,
+performance spans 1.62x-367x).
+
+The suite is fully deterministic: kernel characteristics derive from
+CRC32-stable seeds of the kernel identity, so every process builds the
+identical suite.
+"""
+
+from repro.workloads.comd import COMD_KERNEL_NAMES, comd_kernels
+from repro.workloads.families import (
+    CharacteristicRanges,
+    InputScaling,
+    sample_characteristics,
+    stable_seed,
+)
+from repro.workloads.kernel import Kernel
+from repro.workloads.lu import LU_KERNEL_NAMES, lu_kernels
+from repro.workloads.lulesh import LULESH_KERNEL_NAMES, lulesh_kernels
+from repro.workloads.microbench import microbenchmark_suite
+from repro.workloads.smc import SMC_KERNEL_NAMES, smc_kernels
+from repro.workloads.suite import Suite, build_suite
+
+__all__ = [
+    "COMD_KERNEL_NAMES",
+    "CharacteristicRanges",
+    "InputScaling",
+    "Kernel",
+    "LULESH_KERNEL_NAMES",
+    "LU_KERNEL_NAMES",
+    "SMC_KERNEL_NAMES",
+    "Suite",
+    "build_suite",
+    "comd_kernels",
+    "lu_kernels",
+    "lulesh_kernels",
+    "microbenchmark_suite",
+    "sample_characteristics",
+    "smc_kernels",
+    "stable_seed",
+]

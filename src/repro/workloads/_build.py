@@ -1,0 +1,81 @@
+"""Internal helper assembling benchmark kernel lists from specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.families import (
+    CharacteristicRanges,
+    InputScaling,
+    sample_characteristics,
+    stable_seed,
+)
+from repro.workloads.kernel import Kernel
+
+__all__ = ["KernelSpec", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declaration of one kernel inside a benchmark definition module.
+
+    Attributes
+    ----------
+    name:
+        Kernel name.
+    rel_weight:
+        Relative share of benchmark runtime (normalized per input group).
+    overrides:
+        Family-range overrides expressing this kernel's flavour, passed
+        to :meth:`CharacteristicRanges.override`.
+    """
+
+    name: str
+    rel_weight: float = 1.0
+    overrides: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rel_weight <= 0:
+            raise ValueError("rel_weight must be positive")
+
+
+def build_benchmark(
+    benchmark: str,
+    specs: list[KernelSpec],
+    base_ranges: CharacteristicRanges,
+    inputs: dict[str, InputScaling],
+) -> list[Kernel]:
+    """Instantiate every (kernel, input) combination of a benchmark.
+
+    Characteristics are sampled once per *kernel* (from a seed stable in
+    the kernel's identity) and then rescaled per input, so the same
+    kernel under two inputs shares its flavour but differs in work size
+    and memory pressure — exactly how real inputs behave.
+    """
+    if not specs:
+        raise ValueError("benchmark needs at least one kernel spec")
+    if not inputs:
+        raise ValueError("benchmark needs at least one input size")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate kernel names in {benchmark}")
+
+    total_weight = sum(s.rel_weight for s in specs)
+    kernels: list[Kernel] = []
+    for spec in specs:
+        rng = np.random.default_rng(stable_seed(benchmark, spec.name))
+        ranges = base_ranges.override(**spec.overrides)
+        base_chars = sample_characteristics(ranges, rng)
+        for input_size, scaling in inputs.items():
+            kernels.append(
+                Kernel(
+                    name=spec.name,
+                    benchmark=benchmark,
+                    input_size=input_size,
+                    characteristics=scaling.apply(base_chars),
+                    time_weight=spec.rel_weight / total_weight,
+                )
+            )
+    return kernels

@@ -1,0 +1,75 @@
+"""CoMD — classical molecular-dynamics proxy application.
+
+The paper's CoMD port contains 7 significant kernels (Section IV-B).
+Flavours follow the public CoMD structure: the Lennard-Jones/EAM force
+computations dominate runtime and are compute-dense with good GPU
+mappings; the position/velocity integrators are trivially parallel
+streaming loops; link-cell maintenance and halo exchange are pointer-
+chasing, branchy, and a poor GPU fit (they favour the CPU, giving the
+clustering something other than "GPU wins" to learn).
+"""
+
+from __future__ import annotations
+
+from repro.workloads._build import KernelSpec, build_benchmark
+from repro.workloads.families import CharacteristicRanges, InputScaling
+from repro.workloads.kernel import Kernel
+
+__all__ = ["comd_kernels", "COMD_KERNEL_NAMES"]
+
+_BASE = CharacteristicRanges(
+    work_s=(0.3, 1.2),
+    parallel_fraction=(0.85, 0.99),
+    mem_fraction=(0.2, 0.6),
+    gpu_affinity=(1.0, 7.0),
+    gpu_mem_fraction=(0.25, 0.7),
+    launch_overhead_s=(0.005, 0.04),
+    activity=(0.5, 1.3),
+    gpu_activity=(0.5, 1.3),
+    vector_fraction=(0.2, 0.7),
+    dram_intensity=(0.2, 0.8),
+)
+
+_SPECS = [
+    KernelSpec("LJForce", 30.0, {
+        "gpu_affinity": (5.0, 8.5), "activity": (1.0, 1.4),
+        "vector_fraction": (0.5, 0.8), "mem_fraction": (0.15, 0.35),
+    }),
+    KernelSpec("EAMForce", 20.0, {
+        "gpu_affinity": (3.5, 6.5), "activity": (0.9, 1.3),
+        "branch_rate": (0.1, 0.25),
+    }),
+    KernelSpec("AdvanceVelocity", 4.0, {
+        "mem_fraction": (0.55, 0.8), "activity": (0.35, 0.6),
+        "gpu_affinity": (2.0, 4.0),
+    }),
+    KernelSpec("AdvancePosition", 4.0, {
+        "mem_fraction": (0.55, 0.8), "activity": (0.35, 0.6),
+        "gpu_affinity": (2.0, 4.0),
+    }),
+    KernelSpec("UpdateLinkCells", 5.0, {
+        "gpu_affinity": (0.3, 0.9), "parallel_fraction": (0.6, 0.85),
+        "branch_rate": (0.25, 0.45), "l1_miss_rate": (0.04, 0.12),
+    }),
+    KernelSpec("HaloExchange", 4.0, {
+        "gpu_affinity": (0.05, 0.3), "parallel_fraction": (0.5, 0.8),
+        "branch_rate": (0.25, 0.45), "mem_fraction": (0.5, 0.8),
+        "work_s": (0.05, 0.3),
+    }),
+    KernelSpec("KineticEnergy", 2.0, {
+        "gpu_affinity": (1.0, 3.0), "parallel_fraction": (0.8, 0.95),
+    }),
+]
+
+_INPUTS = {
+    "Small": InputScaling(work_scale=0.4, mem_shift=-0.05),
+    "Large": InputScaling(work_scale=2.0, mem_shift=0.08),
+}
+
+#: The 7 CoMD kernel names in declaration order.
+COMD_KERNEL_NAMES: tuple[str, ...] = tuple(s.name for s in _SPECS)
+
+
+def comd_kernels() -> list[Kernel]:
+    """All CoMD (kernel, input) combinations: 7 kernels x 2 inputs."""
+    return build_benchmark("CoMD", _SPECS, _BASE, _INPUTS)

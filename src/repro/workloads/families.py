@@ -1,0 +1,112 @@
+"""Characteristic distributions per benchmark family.
+
+Each benchmark family (LULESH, CoMD, SMC, LU) is described by per-latent-
+characteristic sampling ranges plus optional per-kernel overrides, so
+kernels within a family share a flavour (e.g. CoMD force kernels are
+compute-dense and GPU-friendly; its halo exchange is branchy and
+CPU-bound) while still varying kernel to kernel.  The paper reports large
+within-suite variance — best-configuration power from 19 W to 55 W and
+performance spans from 1.62x to 367x (Section III-B) — and the ranges
+here are wide enough to reproduce that spread.
+
+Sampling is deterministic: every kernel derives its own
+:class:`numpy.random.Generator` from a stable CRC32 of its identity
+string, so the suite is identical across processes and Python versions
+(``hash()`` randomization never enters).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+from repro.hardware.kernelmodel import KernelCharacteristics
+
+__all__ = ["CharacteristicRanges", "InputScaling", "sample_characteristics", "stable_seed"]
+
+
+@dataclass(frozen=True)
+class CharacteristicRanges:
+    """Uniform sampling ranges ``(lo, hi)`` for each latent characteristic."""
+
+    work_s: tuple[float, float] = (0.5, 2.0)
+    parallel_fraction: tuple[float, float] = (0.85, 0.99)
+    mem_fraction: tuple[float, float] = (0.2, 0.7)
+    gpu_affinity: tuple[float, float] = (1.5, 8.0)
+    gpu_mem_fraction: tuple[float, float] = (0.3, 0.8)
+    launch_overhead_s: tuple[float, float] = (0.005, 0.05)
+    activity: tuple[float, float] = (0.5, 1.2)
+    gpu_activity: tuple[float, float] = (0.5, 1.2)
+    vector_fraction: tuple[float, float] = (0.1, 0.8)
+    branch_rate: tuple[float, float] = (0.02, 0.25)
+    l1_miss_rate: tuple[float, float] = (0.005, 0.08)
+    l2_miss_ratio: tuple[float, float] = (0.1, 0.8)
+    tlb_miss_rate: tuple[float, float] = (0.0001, 0.005)
+    dram_intensity: tuple[float, float] = (0.1, 0.9)
+
+    def override(self, **ranges: tuple[float, float]) -> "CharacteristicRanges":
+        """A copy with some ranges replaced (used for per-kernel flavour)."""
+        return replace(self, **ranges)
+
+
+@dataclass(frozen=True)
+class InputScaling:
+    """How an input size rescales sampled characteristics.
+
+    Attributes
+    ----------
+    work_scale:
+        Multiplier on ``work_s`` (problem size).
+    mem_shift:
+        Additive shift on memory-bound fractions — larger inputs spill
+        caches and become more memory bound (clamped to valid range).
+    launch_scale:
+        Multiplier on launch overhead; overhead is roughly constant in
+        absolute terms, so relative to larger work it shrinks — we keep
+        it absolute and let ``work_scale`` do that naturally, but small
+        inputs can pay extra driver overhead per element.
+    """
+
+    work_scale: float = 1.0
+    mem_shift: float = 0.0
+    launch_scale: float = 1.0
+
+    def apply(self, chars: KernelCharacteristics) -> KernelCharacteristics:
+        def clamp(v: float, lo: float, hi: float) -> float:
+            return min(max(v, lo), hi)
+
+        return replace(
+            chars,
+            work_s=chars.work_s * self.work_scale,
+            mem_fraction=clamp(chars.mem_fraction + self.mem_shift, 0.0, 0.97),
+            gpu_mem_fraction=clamp(
+                chars.gpu_mem_fraction + self.mem_shift, 0.0, 0.97
+            ),
+            launch_overhead_s=chars.launch_overhead_s * self.launch_scale,
+        )
+
+
+def stable_seed(*parts: str | int) -> int:
+    """A process-stable 32-bit seed derived from identity strings."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def sample_characteristics(
+    ranges: CharacteristicRanges, rng: np.random.Generator
+) -> KernelCharacteristics:
+    """Draw one kernel's latent characteristics from family ranges.
+
+    Values are drawn uniformly and independently per field, in the
+    field-declaration order of :class:`CharacteristicRanges` (stable, so
+    the draw is reproducible for a given generator state).
+    """
+    values: dict[str, float] = {}
+    for f in fields(ranges):
+        lo, hi = getattr(ranges, f.name)
+        if lo > hi:
+            raise ValueError(f"range for {f.name} is inverted: ({lo}, {hi})")
+        values[f.name] = float(rng.uniform(lo, hi)) if hi > lo else float(lo)
+    return KernelCharacteristics(**values)

@@ -1,0 +1,117 @@
+"""LULESH — Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics.
+
+The paper's OpenCL/OpenMP LULESH port contains 20 significant kernels
+(Section IV-B) and is run at two input sizes (the figures report
+"LULESH Small" and "LULESH Large").  The kernel names below follow the
+public LULESH source; their flavours reflect the code's structure:
+
+* the hourglass-control and stress-integration kernels dominate runtime,
+  are FLOP-dense, vectorizable, and map very well to the GPU — Table I
+  shows ``CalcFBHourglassForce`` reaching its best performance on the
+  GPU with the CPU at most 66 % of it;
+* nodal update loops (position/velocity/acceleration) are streaming,
+  memory-bound, and cheap;
+* EOS/material kernels are branchy with gather/scatter access, making
+  them a middling GPU fit;
+* the time-constraint reduction is latency-bound and CPU-leaning.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._build import KernelSpec, build_benchmark
+from repro.workloads.families import CharacteristicRanges, InputScaling
+from repro.workloads.kernel import Kernel
+
+__all__ = ["lulesh_kernels", "LULESH_KERNEL_NAMES"]
+
+_BASE = CharacteristicRanges(
+    work_s=(0.4, 1.5),
+    parallel_fraction=(0.9, 0.995),
+    mem_fraction=(0.25, 0.6),
+    gpu_affinity=(3.0, 9.0),
+    gpu_mem_fraction=(0.3, 0.7),
+    launch_overhead_s=(0.005, 0.03),
+    activity=(0.6, 1.2),
+    gpu_activity=(0.6, 1.2),
+    vector_fraction=(0.3, 0.85),
+    dram_intensity=(0.2, 0.8),
+)
+
+# (name, rel_weight, flavour overrides)
+_SPECS = [
+    KernelSpec("CalcFBHourglassForce", 18.0, {
+        "gpu_affinity": (6.0, 9.0), "vector_fraction": (0.6, 0.9),
+        "activity": (0.9, 1.3), "gpu_mem_fraction": (0.55, 0.75),
+    }),
+    KernelSpec("CalcHourglassControlForElems", 12.0, {
+        "gpu_affinity": (5.0, 8.0), "vector_fraction": (0.5, 0.8),
+    }),
+    KernelSpec("IntegrateStressForElems", 10.0, {
+        "gpu_affinity": (4.0, 8.0), "activity": (0.8, 1.2),
+    }),
+    KernelSpec("CalcKinematicsForElems", 8.0, {
+        "gpu_affinity": (3.5, 7.0),
+    }),
+    KernelSpec("CalcMonotonicQGradientsForElems", 6.0, {
+        "mem_fraction": (0.4, 0.65),
+    }),
+    KernelSpec("CalcMonotonicQRegionForElems", 4.0, {
+        "branch_rate": (0.15, 0.3),
+    }),
+    KernelSpec("CalcEnergyForElems", 6.0, {
+        "branch_rate": (0.15, 0.3), "gpu_affinity": (2.0, 5.0),
+    }),
+    KernelSpec("CalcPressureForElems", 4.0, {
+        "gpu_affinity": (2.5, 6.0),
+    }),
+    KernelSpec("EvalEOSForElems", 4.0, {
+        "branch_rate": (0.2, 0.35), "gpu_affinity": (1.5, 4.0),
+    }),
+    KernelSpec("CalcSoundSpeedForElems", 2.0, {}),
+    KernelSpec("CalcForceForNodes", 3.0, {
+        "mem_fraction": (0.5, 0.75), "dram_intensity": (0.5, 0.9),
+    }),
+    KernelSpec("CalcAccelerationForNodes", 2.0, {
+        "mem_fraction": (0.55, 0.8), "activity": (0.4, 0.7),
+        "gpu_affinity": (2.0, 4.5),
+    }),
+    KernelSpec("ApplyAccelerationBCsForNodes", 1.0, {
+        "parallel_fraction": (0.7, 0.9), "gpu_affinity": (0.8, 2.0),
+        "work_s": (0.05, 0.2),
+    }),
+    KernelSpec("CalcVelocityForNodes", 2.0, {
+        "mem_fraction": (0.55, 0.8), "activity": (0.4, 0.7),
+    }),
+    KernelSpec("CalcPositionForNodes", 2.0, {
+        "mem_fraction": (0.55, 0.8), "activity": (0.4, 0.7),
+    }),
+    KernelSpec("CalcLagrangeElements", 3.0, {}),
+    KernelSpec("CalcQForElems", 3.0, {
+        "mem_fraction": (0.4, 0.7),
+    }),
+    KernelSpec("UpdateVolumesForElems", 1.0, {
+        "mem_fraction": (0.6, 0.85), "activity": (0.3, 0.6),
+        "gpu_affinity": (1.5, 3.5), "work_s": (0.1, 0.4),
+    }),
+    KernelSpec("CalcCourantConstraintForElems", 1.5, {
+        "parallel_fraction": (0.75, 0.92), "gpu_affinity": (0.6, 1.8),
+        "branch_rate": (0.2, 0.4),
+    }),
+    KernelSpec("CalcHydroConstraintForElems", 1.5, {
+        "parallel_fraction": (0.75, 0.92), "gpu_affinity": (0.6, 1.8),
+        "branch_rate": (0.2, 0.4),
+    }),
+]
+
+_INPUTS = {
+    "Small": InputScaling(work_scale=0.35, mem_shift=-0.08, launch_scale=1.0),
+    "Large": InputScaling(work_scale=2.5, mem_shift=0.1, launch_scale=1.0),
+}
+
+#: The 20 LULESH kernel names in declaration order.
+LULESH_KERNEL_NAMES: tuple[str, ...] = tuple(s.name for s in _SPECS)
+
+
+def lulesh_kernels() -> list[Kernel]:
+    """All LULESH (kernel, input) combinations: 20 kernels x 2 inputs."""
+    return build_benchmark("LULESH", _SPECS, _BASE, _INPUTS)

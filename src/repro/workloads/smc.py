@@ -1,0 +1,79 @@
+"""SMC — combustion (reacting compressible Navier-Stokes) proxy app.
+
+The paper's SMC port contains 8 significant kernels (Section IV-B) and
+is run at a single input in our suite (the paper's figures report one
+SMC group; SMC contributes 8 of the 65 benchmark/input combinations).
+Flavours follow the BoxLib SMC structure: wide-stencil hyperbolic and
+diffusive terms are bandwidth-hungry; chemistry (reaction rates) is an
+enormous pile of independent per-cell ODE arithmetic — very GPU
+friendly and power dense (this family supplies the suite's hottest
+kernels, reaching the ~55 W best-configuration power the paper
+mentions); boundary fills are thin, branchy, and CPU-leaning.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._build import KernelSpec, build_benchmark
+from repro.workloads.families import CharacteristicRanges, InputScaling
+from repro.workloads.kernel import Kernel
+
+__all__ = ["smc_kernels", "SMC_KERNEL_NAMES"]
+
+_BASE = CharacteristicRanges(
+    work_s=(0.5, 2.0),
+    parallel_fraction=(0.88, 0.99),
+    mem_fraction=(0.3, 0.7),
+    gpu_affinity=(1.5, 7.5),
+    gpu_mem_fraction=(0.3, 0.8),
+    launch_overhead_s=(0.01, 0.05),
+    activity=(0.5, 1.4),
+    gpu_activity=(0.5, 1.4),
+    vector_fraction=(0.2, 0.8),
+    dram_intensity=(0.3, 0.9),
+)
+
+_SPECS = [
+    KernelSpec("CToPrim", 6.0, {
+        "mem_fraction": (0.45, 0.7), "dram_intensity": (0.5, 0.9),
+    }),
+    KernelSpec("HypTerm", 16.0, {
+        "mem_fraction": (0.4, 0.65), "gpu_affinity": (3.0, 6.5),
+        "vector_fraction": (0.4, 0.8),
+    }),
+    KernelSpec("DiffTerm", 14.0, {
+        "mem_fraction": (0.45, 0.7), "gpu_affinity": (2.5, 6.0),
+    }),
+    KernelSpec("ChemTerm", 22.0, {
+        "gpu_affinity": (5.0, 8.5), "activity": (1.0, 1.4),
+        "gpu_activity": (1.0, 1.4), "mem_fraction": (0.1, 0.3),
+        "vector_fraction": (0.5, 0.9), "dram_intensity": (0.1, 0.4),
+    }),
+    KernelSpec("GetRates", 10.0, {
+        "gpu_affinity": (4.0, 7.5), "activity": (1.0, 1.5),
+        "branch_rate": (0.1, 0.25), "mem_fraction": (0.1, 0.35),
+    }),
+    KernelSpec("TransportCoeffs", 6.0, {
+        "gpu_affinity": (2.0, 5.0),
+    }),
+    KernelSpec("FillBoundary", 3.0, {
+        "gpu_affinity": (0.3, 0.9), "parallel_fraction": (0.6, 0.85),
+        "branch_rate": (0.25, 0.45), "work_s": (0.05, 0.3),
+        "mem_fraction": (0.5, 0.8),
+    }),
+    KernelSpec("UpdateRK3", 4.0, {
+        "mem_fraction": (0.6, 0.85), "activity": (0.35, 0.6),
+        "gpu_affinity": (2.0, 4.5),
+    }),
+]
+
+_INPUTS = {
+    "Ref": InputScaling(work_scale=1.0),
+}
+
+#: The 8 SMC kernel names in declaration order.
+SMC_KERNEL_NAMES: tuple[str, ...] = tuple(s.name for s in _SPECS)
+
+
+def smc_kernels() -> list[Kernel]:
+    """All SMC (kernel, input) combinations: 8 kernels x 1 input."""
+    return build_benchmark("SMC", _SPECS, _BASE, _INPUTS)

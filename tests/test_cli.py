@@ -1,0 +1,138 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_all_commands(self):
+        p = build_parser()
+        assert p.parse_args(["suite"]).command == "suite"
+        assert p.parse_args(["frontier", "a/b/c"]).kernel == "a/b/c"
+        args = p.parse_args(["train", "-o", "m.json", "--n-clusters", "3"])
+        assert args.output == "m.json" and args.n_clusters == 3
+        args = p.parse_args(["predict", "-m", "m.json", "a/b/c", "--cap", "20"])
+        assert args.cap == 20.0
+        assert p.parse_args(["evaluate"]).command == "evaluate"
+
+
+class TestSuiteCommand:
+    def test_lists_kernels(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "65 benchmark/input kernels" in out
+        assert "LULESH/Small/CalcFBHourglassForce" in out
+        assert "LU Large" in out
+
+
+class TestFrontierCommand:
+    def test_prints_frontier(self, capsys):
+        assert main(["frontier", "LU/Small/LUDecomposition"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontier of LU/Small/LUDecomposition" in out
+        assert "Normalized performance" in out
+
+    def test_unknown_kernel_fails_cleanly(self, capsys):
+        assert main(["frontier", "No/Such/Kernel"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrainPredictRoundtrip:
+    def test_train_then_predict(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        # Train on a small slice for speed: hold out everything but CoMD
+        # by excluding nothing and trusting the full run? No - train on
+        # all but LU (the prediction target's benchmark).
+        rc = main(
+            [
+                "train",
+                "-o",
+                str(model_path),
+                "--exclude-benchmark",
+                "LU",
+            ]
+        )
+        assert rc == 0
+        assert model_path.exists()
+        out = capsys.readouterr().out
+        assert "Model saved" in out
+
+        rc = main(
+            [
+                "predict",
+                "-m",
+                str(model_path),
+                "LU/Small/LUDecomposition",
+                "--cap",
+                "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+        assert "At 20.0 W" in out
+        assert "ground truth" in out
+
+    def test_train_excluding_everything_fails(self, tmp_path, capsys):
+        # An exclusion that empties the suite is rejected... no single
+        # benchmark empties it, so simulate with a bogus name: that
+        # excludes nothing and must succeed instead.
+        model_path = tmp_path / "m.json"
+        rc = main(
+            ["train", "-o", str(model_path), "--n-clusters", "2",
+             "--exclude-benchmark", "LULESH"]
+        )
+        assert rc == 0
+
+
+class TestEvaluateCommand:
+    def test_evaluate_without_baselines(self, capsys):
+        assert main(["evaluate", "--no-freq-limiting"]) == 0
+        out = capsys.readouterr().out
+        assert "Model" in out and "Model+FL" in out
+        assert "% Under" in out
+
+
+class TestRuntimeCommand:
+    def test_runtime_prints_timeline(self, capsys):
+        assert main(["runtime", "LU Small", "--cap", "20", "--timesteps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "t0" in out and "t3" in out
+        assert "timesteps" in out  # the summary line
+
+    def test_unknown_group_fails_cleanly(self, capsys):
+        assert main(["runtime", "No Such Group"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAccuracyCommand:
+    def test_accuracy_prints_summary(self, capsys):
+        assert main(["accuracy"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out and "rank tau" in out
+
+
+class TestReportCommand:
+    def test_report_writes_all_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["report", "-o", str(out_dir)]) == 0
+        names = {p.name for p in out_dir.glob("*.txt")}
+        assert names == {
+            "fig2_table1.txt",
+            "fig3.txt",
+            "fig7.txt",
+            "table3.txt",
+            "fig4.txt",
+            "fig5.txt",
+            "fig6.txt",
+            "fig8.txt",
+            "fig9.txt",
+        }
+        table3 = (out_dir / "table3.txt").read_text()
+        assert "% Under" in table3

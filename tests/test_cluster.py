@@ -1,0 +1,237 @@
+"""Tests for repro.cluster (nodes, allocation, manager)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterNode,
+    ClusterPowerManager,
+    NodeFrontier,
+    NodeFrontierPoint,
+    allocation_summary,
+    greedy_marginal_allocation,
+    maxmin_allocation,
+    uniform_allocation,
+)
+from repro.core import train_model
+from repro.hardware import TrinityAPU
+from repro.profiling import ProfilingLibrary
+from repro.runtime import Application
+from repro.workloads import build_suite
+
+
+def _frontier(points):
+    return NodeFrontier([NodeFrontierPoint(*p) for p in points])
+
+
+@pytest.fixture(scope="module")
+def trained():
+    apu = TrinityAPU(seed=0)
+    library = ProfilingLibrary(apu, seed=0)
+    suite = build_suite()
+    model = train_model(library, [k for k in suite if k.benchmark != "LU"])
+    return suite, model
+
+
+@pytest.fixture(scope="module")
+def nodes(trained):
+    suite, model = trained
+    return [
+        ClusterNode(
+            "n0", Application.from_suite(suite, "LU Small"), model, seed=1
+        ),
+        ClusterNode(
+            "n1", Application.from_suite(suite, "LU Large"), model, seed=2
+        ),
+        ClusterNode(
+            "n2", Application.from_suite(suite, "CoMD Small"), model, seed=3
+        ),
+    ]
+
+
+class TestNodeFrontier:
+    def test_sorted_and_monotone(self):
+        f = _frontier([(20.0, 19.0, 2.0), (10.0, 9.5, 1.0), (30.0, 28.0, 3.0)])
+        caps = [p.cap_w for p in f]
+        rates = [p.rate for p in f]
+        assert caps == sorted(caps)
+        assert rates == sorted(rates)
+
+    def test_non_improving_points_dropped(self):
+        f = _frontier([(10.0, 9.0, 1.0), (20.0, 19.0, 0.9), (30.0, 28.0, 2.0)])
+        assert len(f) == 2
+
+    def test_at_cap(self):
+        f = _frontier([(10.0, 9.0, 1.0), (20.0, 19.0, 2.0)])
+        assert f.at_cap(15.0).rate == 1.0
+        assert f.at_cap(25.0).rate == 2.0
+        assert f.at_cap(5.0).rate == 1.0  # floor: node cannot power off
+
+    def test_steps(self):
+        f = _frontier([(10.0, 9.0, 1.0), (20.0, 19.0, 2.0)])
+        ((dp, dr, cap),) = f.steps()
+        assert dp == pytest.approx(10.0)
+        assert dr == pytest.approx(1.0)
+        assert cap == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFrontier([])
+
+
+class TestAllocation:
+    def _two_frontiers(self):
+        # Node a: cheap performance (good marginal utility).
+        fa = _frontier([(10.0, 10.0, 1.0), (15.0, 15.0, 3.0), (20.0, 20.0, 4.0)])
+        # Node b: expensive performance.
+        fb = _frontier([(10.0, 10.0, 1.0), (20.0, 20.0, 1.5)])
+        return {"a": fa, "b": fb}
+
+    def test_uniform_splits_evenly(self):
+        caps = uniform_allocation(40.0, self._two_frontiers())
+        assert caps == {"a": 20.0, "b": 20.0}
+
+    def test_greedy_prefers_high_marginal_node(self):
+        caps = greedy_marginal_allocation(30.0, self._two_frontiers())
+        # 20 W go to the minima; the spare 10 W belong to node a, whose
+        # steps buy 0.4 and 0.2 rate/W vs node b's 0.05.
+        assert caps["a"] == pytest.approx(20.0)
+        assert caps["b"] == pytest.approx(10.0)
+
+    def test_greedy_respects_budget(self):
+        fr = self._two_frontiers()
+        for budget in (20.0, 25.0, 33.0, 40.0, 100.0):
+            caps = greedy_marginal_allocation(budget, fr)
+            assert sum(caps.values()) <= budget + 1e-9
+
+    def test_greedy_beats_uniform_in_predicted_rate(self):
+        fr = self._two_frontiers()
+        budget = 30.0
+        g = allocation_summary(greedy_marginal_allocation(budget, fr), fr, budget)
+        u = allocation_summary(uniform_allocation(budget, fr), fr, budget)
+        assert g["predicted_rate"] > u["predicted_rate"]
+
+    def test_greedy_monotone_in_budget(self):
+        fr = self._two_frontiers()
+        rates = []
+        for budget in (20.0, 25.0, 30.0, 35.0, 40.0):
+            caps = greedy_marginal_allocation(budget, fr)
+            rates.append(
+                allocation_summary(caps, fr, budget)["predicted_rate"]
+            )
+        assert rates == sorted(rates)
+
+    def test_infeasible_budget_scales_floors(self):
+        fr = self._two_frontiers()
+        caps = greedy_marginal_allocation(10.0, fr)  # floors need 20 W
+        assert sum(caps.values()) == pytest.approx(10.0)
+        assert caps["a"] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_allocation(10.0, {})
+        with pytest.raises(ValueError):
+            greedy_marginal_allocation(0.0, self._two_frontiers())
+        with pytest.raises(ValueError):
+            allocation_summary({"a": 1.0}, self._two_frontiers(), 10.0)
+
+    def test_maxmin_lifts_the_slowest_node(self):
+        fr = self._two_frontiers()
+        caps = maxmin_allocation(35.0, fr)
+        # Both floors give rate 1.0; tie breaks to 'a' (rate 3.0 at
+        # 15 W); then 'b' is slowest and takes its 10 W step to rate
+        # 1.5; the remaining 5W go to 'a' again (rate 4.0).
+        assert caps["b"] == pytest.approx(20.0)
+        assert caps["a"] == pytest.approx(15.0)
+
+    def test_maxmin_respects_budget(self):
+        fr = self._two_frontiers()
+        for budget in (20.0, 25.0, 33.0, 50.0):
+            caps = maxmin_allocation(budget, fr)
+            assert sum(caps.values()) <= budget + 1e-9
+
+    def test_maxmin_improves_worst_rate_over_greedy(self):
+        fr = self._two_frontiers()
+        budget = 35.0
+        greedy = greedy_marginal_allocation(budget, fr)
+        maxmin = maxmin_allocation(budget, fr)
+
+        def worst_rate(caps):
+            return min(fr[n].at_cap(c).rate for n, c in caps.items())
+
+        assert worst_rate(maxmin) >= worst_rate(greedy)
+
+    def test_maxmin_infeasible_budget_scales_floors(self):
+        fr = self._two_frontiers()
+        caps = maxmin_allocation(12.0, fr)
+        assert sum(caps.values()) == pytest.approx(12.0)
+
+
+class TestClusterNode:
+    def test_warmup_runs_two_samples_per_kernel(self, trained):
+        suite, model = trained
+        node = ClusterNode(
+            "n", Application.from_suite(suite, "LU Small"), model, seed=9
+        )
+        node.warm_up()
+        for kernel in node.application.kernels:
+            assert node.library.database.iterations(kernel.uid) == 2
+        # Idempotent.
+        node.warm_up()
+        for kernel in node.application.kernels:
+            assert node.library.database.iterations(kernel.uid) == 2
+
+    def test_frontier_properties(self, nodes):
+        f = nodes[0].frontier()
+        assert len(f) >= 3
+        rates = [p.rate for p in f]
+        assert rates == sorted(rates)
+        # Feasibility: predicted node power never exceeds the cap.
+        for p in f:
+            assert p.expected_power_w <= p.cap_w * (1 + 1e-9)
+
+    def test_run_produces_trace(self, nodes):
+        trace = nodes[0].run(n_timesteps=3, cap_w=22.0)
+        assert trace.timesteps() == 3
+
+    def test_name_validation(self, trained):
+        suite, model = trained
+        with pytest.raises(ValueError):
+            ClusterNode("", Application.from_suite(suite, "LU Small"), model)
+
+
+class TestClusterPowerManager:
+    def test_validation(self, nodes):
+        with pytest.raises(ValueError):
+            ClusterPowerManager([])
+        with pytest.raises(ValueError):
+            ClusterPowerManager(nodes, policy="fair")
+        with pytest.raises(ValueError):
+            ClusterPowerManager([nodes[0], nodes[0]])
+
+    def test_allocation_covers_all_nodes(self, nodes):
+        mgr = ClusterPowerManager(nodes, policy="greedy")
+        caps = mgr.allocate(75.0)
+        assert set(caps) == {"n0", "n1", "n2"}
+        assert sum(caps.values()) <= 75.0 + 1e-9
+
+    def test_run_epochs(self, nodes):
+        mgr = ClusterPowerManager(nodes, policy="greedy")
+        report = mgr.run([70.0, 50.0], n_epochs=2, timesteps_per_epoch=3)
+        assert len(report.epochs) == 2
+        assert report.epochs[0].budget_w == 70.0
+        assert report.total_time_s > 0
+        assert 0.0 <= report.budget_compliance() <= 1.0
+
+    def test_budget_function(self, nodes):
+        mgr = ClusterPowerManager(nodes, policy="uniform")
+        report = mgr.run(
+            lambda e: 80.0 - 20.0 * e, n_epochs=2, timesteps_per_epoch=2
+        )
+        assert report.epochs[1].budget_w == 60.0
+
+    def test_run_argument_validation(self, nodes):
+        mgr = ClusterPowerManager(nodes)
+        with pytest.raises(ValueError):
+            mgr.run([50.0], n_epochs=2, timesteps_per_epoch=2)
+        with pytest.raises(ValueError):
+            mgr.run([50.0], n_epochs=0, timesteps_per_epoch=2)

@@ -1,0 +1,265 @@
+"""Tests for repro.evaluation (harness, metrics, loocv, reporting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    CapEvaluation,
+    evaluate_kernel,
+    render_fig4_scatter,
+    render_frontier_table,
+    render_group_bars,
+    render_table3,
+    run_loocv,
+    summarize,
+    summarize_by_group,
+)
+from repro.hardware import Configuration, NoiseModel, TrinityAPU
+from repro.methods import CpuFrequencyLimiting, GpuFrequencyLimiting, Oracle
+from repro.workloads import build_suite
+
+
+def _record(
+    method="M",
+    kernel="b/i/k",
+    cap=20.0,
+    power=18.0,
+    perf=1.0,
+    o_power=20.0,
+    o_perf=1.2,
+    weight=1.0,
+    group="b i",
+):
+    return CapEvaluation(
+        kernel_uid=kernel,
+        benchmark=group.split()[0],
+        group=group,
+        time_weight=weight,
+        method=method,
+        power_cap_w=cap,
+        config=Configuration.cpu(1.4, 1),
+        power_w=power,
+        performance=perf,
+        oracle_config=Configuration.cpu(1.4, 1),
+        oracle_power_w=o_power,
+        oracle_performance=o_perf,
+    )
+
+
+class TestCapEvaluation:
+    def test_under_limit_boundary(self):
+        assert _record(power=20.0, cap=20.0).under_limit
+        assert not _record(power=20.1, cap=20.0).under_limit
+
+    def test_ratios(self):
+        r = _record(power=10.0, o_power=20.0, perf=0.6, o_perf=1.2)
+        assert r.power_vs_oracle == pytest.approx(0.5)
+        assert r.perf_vs_oracle == pytest.approx(0.5)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def pieces(self):
+        apu = TrinityAPU(noise=NoiseModel.exact(), seed=0)
+        oracle = Oracle(apu)
+        kernel = build_suite().get("CoMD/Small/LJForce")
+        return apu, oracle, kernel
+
+    def test_record_counts(self, pieces):
+        apu, oracle, kernel = pieces
+        methods = [CpuFrequencyLimiting(apu), GpuFrequencyLimiting(apu)]
+        records = evaluate_kernel(apu, oracle, methods, kernel)
+        n_caps = len(oracle.caps_for(kernel))
+        assert len(records) == n_caps * 2
+        assert {r.method for r in records} == {"CPU+FL", "GPU+FL"}
+
+    def test_oracle_columns_consistent(self, pieces):
+        apu, oracle, kernel = pieces
+        records = evaluate_kernel(apu, oracle, [CpuFrequencyLimiting(apu)], kernel)
+        for r in records:
+            assert r.oracle_power_w == pytest.approx(
+                apu.true_total_power_w(kernel, r.oracle_config)
+            )
+            assert r.oracle_power_w <= r.power_cap_w * (1 + 1e-9)
+
+    def test_explicit_caps(self, pieces):
+        apu, oracle, kernel = pieces
+        records = evaluate_kernel(
+            apu, oracle, [CpuFrequencyLimiting(apu)], kernel, caps=[15.0, 30.0]
+        )
+        assert sorted({r.power_cap_w for r in records}) == [15.0, 30.0]
+
+    def test_empty_caps_rejected(self, pieces):
+        apu, oracle, kernel = pieces
+        with pytest.raises(ValueError):
+            evaluate_kernel(apu, oracle, [], kernel, caps=[])
+
+
+class TestMetrics:
+    def test_simple_summary(self):
+        records = [
+            _record(power=18.0, cap=20.0, perf=1.0, o_perf=2.0),  # under, 50%
+            _record(power=25.0, cap=20.0, perf=3.0, o_perf=2.0),  # over, 150%
+        ]
+        (s,) = summarize(records)
+        assert s.pct_under_limit == pytest.approx(50.0)
+        assert s.under_perf_pct == pytest.approx(50.0)
+        assert s.over_perf_pct == pytest.approx(150.0)
+        assert s.over_power_pct == pytest.approx(125.0)
+        assert s.n_cases == 2
+
+    def test_weighting_across_kernels(self):
+        # Kernel A (weight 0.9) always under; kernel B (weight 0.1) never.
+        records = [
+            _record(kernel="b/i/A", weight=0.9, power=10.0, cap=20.0),
+            _record(kernel="b/i/B", weight=0.1, power=30.0, cap=20.0),
+        ]
+        (s,) = summarize(records)
+        assert s.pct_under_limit == pytest.approx(90.0)
+
+    def test_nan_for_empty_subset(self):
+        records = [_record(power=10.0, cap=20.0)]  # never over-limit
+        (s,) = summarize(records)
+        assert math.isnan(s.over_power_pct)
+        assert math.isnan(s.over_perf_pct)
+
+    def test_multiple_methods_sorted(self):
+        records = [_record(method="Zeta"), _record(method="Alpha")]
+        names = [s.method for s in summarize(records)]
+        assert names == ["Alpha", "Zeta"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([_record(method="A")], method="B")
+
+    def test_by_group(self):
+        records = [
+            _record(group="LULESH Small", kernel="LULESH/Small/x"),
+            _record(group="LU Small", kernel="LU/Small/y"),
+        ]
+        groups = summarize_by_group(records)
+        assert list(groups) == ["LULESH Small", "LU Small"]
+
+    def test_per_kernel_mean_before_weighting(self):
+        # Kernel A: two caps, one under one over -> 50%.  Kernel B: one
+        # cap, under -> 100%.  Equal weights -> 75%, not 2/3 (the naive
+        # per-record mean).
+        records = [
+            _record(kernel="b/i/A", cap=20.0, power=10.0),
+            _record(kernel="b/i/A", cap=20.0, power=30.0),
+            _record(kernel="b/i/B", cap=20.0, power=10.0),
+        ]
+        (s,) = summarize(records)
+        assert s.pct_under_limit == pytest.approx(75.0)
+
+
+class TestReporting:
+    def test_table3_renders_all_methods(self):
+        records = [_record(method="Model"), _record(method="CPU+FL")]
+        text = render_table3(summarize(records))
+        assert "Model" in text and "CPU+FL" in text
+        assert "% Under" in text
+
+    def test_frontier_table_contains_rows(self):
+        apu = TrinityAPU(noise=NoiseModel.exact())
+        k = build_suite().get("LU/Small/LUDecomposition")
+        from repro.core import ParetoFrontier
+
+        f = ParetoFrontier.from_measurements(apu.run_all_configs(k))
+        text = render_frontier_table(f, title="T")
+        assert text.count("\n") >= len(f)
+        assert "Normalized performance" in text
+
+    def test_fig4_scatter_marks_methods(self):
+        records = [_record(method="Model", power=10.0)]
+        text = render_fig4_scatter(summarize(records), title="Fig4")
+        assert "Model" in text and "under-limit" in text
+
+    def test_group_bars_handles_nan_and_clipping(self):
+        text = render_group_bars(
+            {"G": {"A": float("nan"), "B": 250.0}}, bar_scale=100.0
+        )
+        assert "-" in text
+        assert "+" in text  # clipped bar marker
+
+
+class TestLOOCV:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Full-suite LOOCV; ~10 s, shared across the class's tests.
+        return run_loocv(seed=0)
+
+    def test_every_benchmark_evaluated(self, report):
+        benchmarks = {r.benchmark for r in report.records}
+        assert benchmarks == {"LULESH", "CoMD", "SMC", "LU"}
+        assert set(report.fold_models) == benchmarks
+
+    def test_all_methods_present(self, report):
+        assert {r.method for r in report.records} == {
+            "Model",
+            "Model+FL",
+            "CPU+FL",
+            "GPU+FL",
+        }
+
+    def test_paper_shape_model_fl_dominates(self, report):
+        """The paper's headline: Model+FL achieves both high cap
+        compliance and high under-limit performance."""
+        by_name = {s.method: s for s in summarize(report.records)}
+        mfl = by_name["Model+FL"]
+        assert mfl.pct_under_limit > by_name["GPU+FL"].pct_under_limit
+        assert mfl.pct_under_limit > by_name["CPU+FL"].pct_under_limit
+        assert mfl.under_perf_pct > by_name["CPU+FL"].under_perf_pct
+        assert mfl.under_perf_pct > 80.0
+        assert mfl.pct_under_limit > 85.0
+
+    def test_paper_shape_gpu_fl_violates_most(self, report):
+        by_name = {s.method: s for s in summarize(report.records)}
+        gpufl = by_name["GPU+FL"]
+        assert gpufl.pct_under_limit == min(
+            s.pct_under_limit for s in by_name.values()
+        )
+        # When over limit, GPU+FL massively overshoots both power & perf.
+        assert gpufl.over_power_pct == max(
+            s.over_power_pct for s in by_name.values()
+        )
+        assert gpufl.over_perf_pct > 150.0
+
+    def test_paper_shape_cpu_fl_loses_performance(self, report):
+        by_name = {s.method: s for s in summarize(report.records)}
+        assert by_name["CPU+FL"].under_perf_pct == min(
+            s.under_perf_pct for s in by_name.values()
+        )
+        assert by_name["CPU+FL"].under_perf_pct < 75.0
+
+    def test_lu_gpu_fl_compliance_collapses(self, report):
+        """Figure 6's LU stress case: GPU+FL meets barely half the caps."""
+        groups = summarize_by_group(report.records)
+        lu_small = {s.method: s for s in groups["LU Small"]}
+        assert lu_small["GPU+FL"].pct_under_limit < 65.0
+
+    def test_online_cost_two_iterations(self, report):
+        """The paper's efficiency claim: the model needs only two kernel
+        iterations to commit to a configuration."""
+        model_records = [r for r in report.records if r.method == "Model"]
+        assert all(r.online_runs == 2 for r in model_records)
+
+    def test_without_freq_limiting_baselines(self):
+        report = run_loocv(seed=1, include_freq_limiting=False)
+        assert {r.method for r in report.records} == {"Model", "Model+FL"}
+
+    def test_fold_integrity_no_leakage(self, report):
+        """Each fold's model must have been trained without any kernel
+        of the held-out benchmark (the paper's §V-C guarantee)."""
+        for benchmark, model in report.fold_models.items():
+            trained_on = set(model.clustering.labels)
+            assert all(
+                not uid.startswith(f"{benchmark}/") for uid in trained_on
+            )
+            # And it trained on everything else (62-57 kernels).
+            assert len(trained_on) == 65 - len(
+                [r for r in {x.kernel_uid for x in report.records
+                             if x.benchmark == benchmark}]
+            )

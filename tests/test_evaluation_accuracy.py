@@ -1,0 +1,82 @@
+"""Tests for repro.evaluation.accuracy (on a reduced two-benchmark suite)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import AccuracyReport, KernelAccuracy, evaluate_prediction_accuracy
+from repro.workloads import Suite, build_suite
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    """CoMD + LU only: a fast two-fold cross-validation."""
+    full = build_suite()
+    kernels = tuple(
+        k for k in full if k.benchmark in ("CoMD", "LU")
+    )
+    return Suite(kernels=kernels)
+
+
+@pytest.fixture(scope="module")
+def report(mini_suite):
+    return evaluate_prediction_accuracy(mini_suite, seed=0, n_clusters=3)
+
+
+class TestEvaluatePredictionAccuracy:
+    def test_every_kernel_scored_once(self, mini_suite, report):
+        assert len(report.kernels) == len(mini_suite)
+        uids = [k.kernel_uid for k in report.kernels]
+        assert len(set(uids)) == len(uids)
+
+    def test_error_fields_valid(self, report):
+        for k in report.kernels:
+            assert 0.0 <= k.power_mape <= k.power_max_ape
+            assert 0.0 <= k.perf_mape <= k.perf_max_ape
+            assert -1.0 <= k.power_rank_tau <= 1.0
+            assert -1.0 <= k.perf_rank_tau <= 1.0
+
+    def test_reasonable_accuracy_on_mini_suite(self, report):
+        assert report.mean("power_mape") < 0.15
+        assert report.mean("perf_rank_tau") > 0.6
+
+    def test_clusters_within_range(self, report):
+        for k in report.kernels:
+            assert 0 <= k.cluster < 3
+
+
+class TestAccuracyReport:
+    def _report(self):
+        return AccuracyReport(
+            kernels=[
+                KernelAccuracy("a", 0, 0.1, 0.2, 0.3, 0.4, 0.9, 0.8),
+                KernelAccuracy("b", 1, 0.3, 0.4, 0.5, 0.6, 0.7, 0.6),
+            ]
+        )
+
+    def test_mean_and_worst(self):
+        r = self._report()
+        assert r.mean("power_mape") == pytest.approx(0.2)
+        assert r.worst("power_mape") == pytest.approx(0.3)
+        # For tau fields, "worst" means the minimum correlation.
+        assert r.worst("perf_rank_tau") == pytest.approx(0.6)
+
+    def test_summary_text(self):
+        text = self._report().summary()
+        assert "MAPE" in text and "rank tau" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, mini_suite):
+        a = evaluate_prediction_accuracy(mini_suite, seed=3, n_clusters=2)
+        b = evaluate_prediction_accuracy(mini_suite, seed=3, n_clusters=2)
+        for ka, kb in zip(a.kernels, b.kernels):
+            assert ka == kb
+
+    def test_different_seed_different_measurements(self, mini_suite):
+        a = evaluate_prediction_accuracy(mini_suite, seed=3, n_clusters=2)
+        b = evaluate_prediction_accuracy(mini_suite, seed=4, n_clusters=2)
+        diffs = [
+            abs(ka.power_mape - kb.power_mape)
+            for ka, kb in zip(a.kernels, b.kernels)
+        ]
+        assert max(diffs) > 0.0

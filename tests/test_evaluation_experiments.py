@@ -1,0 +1,82 @@
+"""Tests for the experiment registry (repro.evaluation.experiments)."""
+
+import pytest
+
+from repro.evaluation import (
+    EXPERIMENTS,
+    experiment_fig2_table1_frontier,
+    experiment_fig3_tree,
+    experiment_fig7_lu_frontier,
+    experiment_table3_and_figures,
+    run_loocv,
+)
+from repro.hardware import Device
+
+
+class TestFrontierExperiments:
+    def test_fig2_table1(self):
+        result = experiment_fig2_table1_frontier(seed=0)
+        assert result.experiment_id == "fig2_table1"
+        assert "CalcFBHourglassForce" in result.text
+        assert "Normalized performance" in result.text
+        frontier = result.data
+        assert frontier[0].config.device is Device.CPU
+        assert frontier[-1].config.device is Device.GPU
+
+    def test_fig7(self):
+        result = experiment_fig7_lu_frontier(seed=0)
+        assert "LU Small" in result.text
+        assert len(result.data) >= 5
+
+    def test_deterministic(self):
+        a = experiment_fig2_table1_frontier(seed=0)
+        b = experiment_fig2_table1_frontier(seed=0)
+        assert a.text == b.text
+
+
+class TestTreeExperiment:
+    def test_fig3(self):
+        result = experiment_fig3_tree(seed=0)
+        assert "classification tree" in result.text
+        assert "cluster" in result.text
+        model = result.data
+        assert model.clustering.n_clusters == 5
+
+
+class TestTable3Experiments:
+    @pytest.fixture(scope="class")
+    def results(self):
+        report = run_loocv(seed=0, include_freq_limiting=False)
+        return experiment_table3_and_figures(report=report)
+
+    def test_all_artifacts_present(self, results):
+        assert set(results) == {"table3", "fig4", "fig5", "fig6", "fig8", "fig9"}
+
+    def test_table3_text(self, results):
+        assert "% Under" in results["table3"].text
+        assert "Model" in results["table3"].text
+
+    def test_figure_series_cover_groups(self, results):
+        series = results["fig6"].data
+        assert len(series) == 8
+        for vals in series.values():
+            assert "Model" in vals and "Model+FL" in vals
+
+    def test_reuses_precomputed_report(self, results):
+        # The fixture passed a report without FL baselines; the series
+        # must reflect exactly those methods.
+        series = results["fig5"].data
+        methods = set(next(iter(series.values())))
+        assert methods == {"Model", "Model+FL"}
+
+
+class TestRegistry:
+    def test_registry_keys(self):
+        assert set(EXPERIMENTS) == {
+            "fig2_table1",
+            "fig3",
+            "fig7",
+            "table3_figs",
+        }
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)

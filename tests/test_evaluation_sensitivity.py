@@ -1,0 +1,67 @@
+"""Tests for repro.evaluation.sensitivity (on a reduced suite)."""
+
+import pytest
+
+from repro.evaluation import render_sweep, sweep_hyperparameter
+from repro.evaluation.sensitivity import SensitivityPoint
+from repro.workloads import Suite, build_suite
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    full = build_suite()
+    return Suite(
+        kernels=tuple(k for k in full if k.benchmark in ("CoMD", "LU"))
+    )
+
+
+class TestSweep:
+    def test_sweep_produces_point_per_value(self, mini_suite):
+        points = sweep_hyperparameter(
+            "n_clusters", [2, 3], suite=mini_suite, seed=0
+        )
+        assert [p.value for p in points] == [2, 3]
+        for p in points:
+            assert p.parameter == "n_clusters"
+            assert 0.0 <= p.pct_under_limit <= 100.0
+            assert p.under_perf_pct > 0.0
+
+    def test_fixed_parameters_forwarded(self, mini_suite):
+        points = sweep_hyperparameter(
+            "ridge", [0.0, 5.0], suite=mini_suite, seed=0, n_clusters=2
+        )
+        assert len(points) == 2
+
+    def test_validation(self, mini_suite):
+        with pytest.raises(ValueError):
+            sweep_hyperparameter("learning_rate", [0.1], suite=mini_suite)
+        with pytest.raises(ValueError):
+            sweep_hyperparameter("ridge", [], suite=mini_suite)
+        with pytest.raises(ValueError):
+            sweep_hyperparameter(
+                "ridge", [0.0], suite=mini_suite, ridge=1.0
+            )
+        with pytest.raises(ValueError):
+            sweep_hyperparameter(
+                "ridge", [0.0], suite=mini_suite, bogus=1
+            )
+
+    def test_deterministic(self, mini_suite):
+        a = sweep_hyperparameter("n_clusters", [2], suite=mini_suite, seed=1)
+        b = sweep_hyperparameter("n_clusters", [2], suite=mini_suite, seed=1)
+        assert a == b
+
+
+class TestRenderSweep:
+    def test_render(self):
+        points = [
+            SensitivityPoint("ridge", 0.0, 90.0, 85.0),
+            SensitivityPoint("ridge", 5.0, 92.0, 84.0),
+        ]
+        text = render_sweep(points, title="Sweep")
+        assert "Sweep" in text and "ridge" in text
+        assert "90.0" in text and "92.0" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep([])

@@ -1,0 +1,155 @@
+"""Tests for repro.methods (oracle, FL baselines, model methods)."""
+
+import pytest
+
+from repro.core import Scheduler, train_model
+from repro.hardware import Device, NoiseModel, TrinityAPU
+from repro.methods import (
+    CpuFrequencyLimiting,
+    GpuFrequencyLimiting,
+    ModelMethod,
+    ModelPlusFL,
+    Oracle,
+)
+from repro.profiling import ProfilingLibrary
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def apu():
+    return TrinityAPU(noise=NoiseModel.exact(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite()
+
+
+@pytest.fixture(scope="module")
+def kernel(suite):
+    return suite.get("LU/Small/LUDecomposition")
+
+
+@pytest.fixture(scope="module")
+def trained(apu, suite):
+    """Model trained with LU held out, plus its online library."""
+    library = ProfilingLibrary(apu, seed=0)
+    train = [k for k in suite if k.benchmark != "LU"]
+    model = train_model(library, train)
+    online = ProfilingLibrary(apu, seed=100)
+    return model, online
+
+
+class TestOracle:
+    def test_caps_match_frontier_powers(self, apu, kernel):
+        oracle = Oracle(apu)
+        caps = oracle.caps_for(kernel)
+        frontier = oracle.true_frontier(kernel)
+        assert caps == [p.power_w for p in frontier]
+        assert caps == sorted(caps)
+
+    def test_oracle_meets_its_own_caps(self, apu, kernel):
+        oracle = Oracle(apu)
+        for cap in oracle.caps_for(kernel):
+            cfg = oracle.decide(kernel, cap).config
+            assert apu.true_total_power_w(kernel, cfg) <= cap * (1 + 1e-9)
+
+    def test_oracle_optimal_under_cap(self, apu, kernel):
+        oracle = Oracle(apu)
+        cap = oracle.caps_for(kernel)[len(oracle.caps_for(kernel)) // 2]
+        cfg = oracle.decide(kernel, cap).config
+        best_perf = apu.true_performance(kernel, cfg)
+        for other in apu.config_space:
+            if apu.true_total_power_w(kernel, other) <= cap * (1 + 1e-9):
+                assert apu.true_performance(kernel, other) <= best_perf + 1e-12
+
+    def test_unreachable_cap_falls_back_to_min_power_frontier_point(
+        self, apu, kernel
+    ):
+        oracle = Oracle(apu)
+        cfg = oracle.decide(kernel, 0.001).config
+        assert cfg == oracle.true_frontier(kernel)[0].config
+
+    def test_frontier_cached(self, apu, kernel):
+        oracle = Oracle(apu)
+        assert oracle.true_frontier(kernel) is oracle.true_frontier(kernel)
+
+
+class TestFrequencyLimitingMethods:
+    def test_cpu_fl_structure(self, apu, kernel):
+        method = CpuFrequencyLimiting(apu)
+        decision = method.decide(kernel, power_cap_w=20.0)
+        assert decision.config.device is Device.CPU
+        assert decision.config.n_threads == 4  # cannot shed cores
+        assert decision.online_runs >= 1
+
+    def test_gpu_fl_structure(self, apu, kernel):
+        method = GpuFrequencyLimiting(apu)
+        decision = method.decide(kernel, power_cap_w=30.0)
+        assert decision.config.device is Device.GPU
+
+    def test_gpu_fl_violates_low_caps(self, apu, kernel):
+        """The paper's central GPU+FL failure: caps below the GPU power
+        floor cannot be met without switching device."""
+        method = GpuFrequencyLimiting(apu)
+        decision = method.decide(kernel, power_cap_w=12.0)
+        assert apu.true_total_power_w(kernel, decision.config) > 12.0
+
+    def test_cpu_fl_meets_moderate_caps(self, apu, kernel):
+        method = CpuFrequencyLimiting(apu)
+        decision = method.decide(kernel, power_cap_w=20.0)
+        assert apu.true_total_power_w(kernel, decision.config) <= 20.0
+
+
+class TestModelMethods:
+    def test_prepare_runs_two_sample_iterations(self, trained, kernel):
+        model, _ = trained
+        online = ProfilingLibrary(TrinityAPU(seed=7), seed=7)
+        method = ModelMethod(model, online)
+        method.prepare(kernel)
+        assert online.database.iterations(kernel.uid) == 2
+        # Preparing again must not rerun the samples.
+        method.prepare(kernel)
+        assert online.database.iterations(kernel.uid) == 2
+
+    def test_decide_caches_prediction_across_caps(self, trained, kernel):
+        model, _ = trained
+        online = ProfilingLibrary(TrinityAPU(seed=8), seed=8)
+        method = ModelMethod(model, online)
+        method.decide(kernel, 15.0)
+        method.decide(kernel, 25.0)
+        method.decide(kernel, 35.0)
+        assert online.database.iterations(kernel.uid) == 2
+
+    def test_model_picks_cpu_at_low_caps_gpu_at_high(self, trained, kernel):
+        model, online = trained
+        method = ModelMethod(model, online)
+        low = method.decide(kernel, 13.0).config
+        high = method.decide(kernel, 35.0).config
+        assert low.device is Device.CPU
+        assert high.device is Device.GPU  # LU loves the GPU when power allows
+
+    def test_model_fl_limits_from_model_choice(self, trained, kernel):
+        model, _ = trained
+        online = ProfilingLibrary(TrinityAPU(seed=9), seed=9)
+        method = ModelPlusFL(model, online, seed=9)
+        decision = method.decide(kernel, power_cap_w=18.0)
+        assert decision.online_runs >= 3  # 2 samples + >= 1 limiter step
+        # The combination should usually respect a reachable cap.
+        power = online.apu.true_total_power_w(kernel, decision.config)
+        assert power <= 18.0 * 1.10
+
+    def test_custom_scheduler_respected(self, trained, kernel):
+        model, online = trained
+        energy_method = ModelMethod(model, online, scheduler=Scheduler("energy"))
+        perf_method = ModelMethod(model, online)
+        e_cfg = energy_method.decide(kernel, 40.0).config
+        p_cfg = perf_method.decide(kernel, 40.0).config
+        apu = online.apu
+        e_energy = apu.true_total_power_w(kernel, e_cfg) / apu.true_performance(
+            kernel, e_cfg
+        )
+        p_energy = apu.true_total_power_w(kernel, p_cfg) / apu.true_performance(
+            kernel, p_cfg
+        )
+        assert e_energy <= p_energy * 1.05

@@ -1,0 +1,91 @@
+"""Tests for the search-based baselines (repro.methods.search)."""
+
+import pytest
+
+from repro.hardware import Device, NoiseModel, TrinityAPU
+from repro.methods import ExhaustiveSearch, HillClimbing, Oracle
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def apu():
+    return TrinityAPU(noise=NoiseModel.exact(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite()
+
+
+@pytest.fixture(scope="module")
+def kernel(suite):
+    return suite.get("LU/Small/LUDecomposition")
+
+
+class TestExhaustiveSearch:
+    def test_matches_oracle_without_noise(self, apu, kernel):
+        """With exact measurements, exhaustive search IS the oracle."""
+        method = ExhaustiveSearch(apu)
+        oracle = Oracle(apu)
+        for cap in oracle.caps_for(kernel):
+            assert method.decide(kernel, cap).config == (
+                oracle.decide(kernel, cap).config
+            )
+
+    def test_online_cost_charged_once(self, apu, kernel):
+        method = ExhaustiveSearch(apu)
+        first = method.decide(kernel, 20.0)
+        second = method.decide(kernel, 30.0)
+        assert first.online_runs == 42
+        assert second.online_runs == 0
+
+    def test_infeasible_cap_falls_back_to_min_power(self, apu, kernel):
+        method = ExhaustiveSearch(apu)
+        decision = method.decide(kernel, 1.0)
+        table = method._tables[kernel.uid]
+        assert table[decision.config][0] == min(p for p, _ in table.values())
+
+
+class TestHillClimbing:
+    def test_fewer_runs_than_exhaustive(self, apu, kernel):
+        method = HillClimbing(apu)
+        decision = method.decide(kernel, 25.0)
+        assert 1 <= decision.online_runs < 42
+
+    def test_respects_cap_when_reachable(self, apu, kernel):
+        method = HillClimbing(apu)
+        for cap in (14.0, 20.0, 28.0):
+            decision = method.decide(kernel, cap)
+            assert apu.true_total_power_w(kernel, decision.config) <= cap * 1.02
+
+    def test_can_cross_devices_for_gpu_kernels(self, apu, suite):
+        """From the CPU start, the device-switch edge lets the climber
+        reach the GPU when power allows and the kernel wants it."""
+        k = suite.get("LULESH/Large/CalcFBHourglassForce")
+        method = HillClimbing(apu)
+        decision = method.decide(k, 35.0)
+        assert decision.config.device is Device.GPU
+
+    def test_quality_between_model_and_random(self, apu, suite):
+        """Hill climbing should recover a decent fraction of oracle
+        performance on average, but lose cases to local optima."""
+        oracle = Oracle(apu)
+        method = HillClimbing(apu)
+        ratios = []
+        for k in suite.for_benchmark("CoMD")[:6]:
+            for cap in oracle.caps_for(k)[::4]:
+                cfg = method.decide(k, cap).config
+                if apu.true_total_power_w(k, cfg) <= cap * 1.001:
+                    o_cfg = oracle.decide(k, cap).config
+                    ratios.append(
+                        apu.true_performance(k, cfg)
+                        / apu.true_performance(k, o_cfg)
+                    )
+        mean = sum(ratios) / len(ratios)
+        assert 0.5 < mean <= 1.0 + 1e-9
+
+    def test_measurement_cache_reused_across_caps(self, apu, kernel):
+        method = HillClimbing(apu)
+        first = method.decide(kernel, 20.0)
+        second = method.decide(kernel, 20.0)
+        assert second.online_runs <= first.online_runs

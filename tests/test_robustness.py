@@ -1,0 +1,170 @@
+"""Robustness and failure-injection tests.
+
+The modeling pipeline must degrade gracefully, not explode, when its
+inputs get ugly: heavy measurement noise, tiny training sets, forced
+misclassification, and pathological kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPU_SAMPLE,
+    GPU_SAMPLE,
+    AdaptiveModel,
+    ParetoFrontier,
+    Scheduler,
+    characterize_kernel,
+    frontier_dissimilarity,
+    train_model,
+)
+from repro.core.frontier import FrontierPoint
+from repro.hardware import (
+    Configuration,
+    FrequencyLimiter,
+    NoiseModel,
+    TrinityAPU,
+)
+from repro.profiling import ProfilingLibrary
+from repro.stats import kendall_tau
+from repro.workloads import build_suite
+from tests.conftest import make_kernel
+
+
+class TestHeavyNoise:
+    """10x the default measurement noise: accuracy shrinks, nothing breaks."""
+
+    @pytest.fixture(scope="class")
+    def noisy_setup(self):
+        noise = NoiseModel(time_rel=0.15, power_rel=0.15, counter_rel=0.2)
+        apu = TrinityAPU(noise=noise, seed=0)
+        library = ProfilingLibrary(apu, seed=0)
+        suite = build_suite()
+        train = [k for k in suite if k.benchmark != "LU"]
+        model = train_model(library, train)
+        return apu, library, suite, model
+
+    def test_training_succeeds_under_heavy_noise(self, noisy_setup):
+        _, _, _, model = noisy_setup
+        assert model.clustering.n_clusters == 5
+        assert set(model.cluster_models)  # non-empty
+
+    def test_predictions_remain_usable_rankings(self, noisy_setup):
+        apu, library, suite, model = noisy_setup
+        k = suite.get("LU/Small/LUDecomposition")
+        cpu_m = apu.run(k, CPU_SAMPLE)
+        gpu_m = apu.run(k, GPU_SAMPLE)
+        pred = model.predict_kernel(cpu_m, gpu_m)
+        cfgs = list(pred.predictions)
+        predicted = [pred.predictions[c][1] for c in cfgs]
+        true = [apu.true_performance(k, c) for c in cfgs]
+        # Rankings survive even when magnitudes wobble.
+        assert kendall_tau(predicted, true) > 0.5
+
+    def test_scheduler_still_picks_sane_configs(self, noisy_setup):
+        apu, library, suite, model = noisy_setup
+        k = suite.get("LU/Small/LUDecomposition")
+        pred = model.predict_kernel(
+            apu.run(k, CPU_SAMPLE), apu.run(k, GPU_SAMPLE)
+        )
+        decision = Scheduler().select(pred, power_cap_w=15.0)
+        # Under a 15 W cap the pick must at least be a CPU config (the
+        # GPU floor is far above 15 W even with noisy predictions).
+        assert not decision.config.is_gpu
+
+
+class TestTinyTrainingSet:
+    def test_single_benchmark_training_works(self):
+        apu = TrinityAPU(seed=0)
+        library = ProfilingLibrary(apu, seed=0)
+        suite = build_suite()
+        model = train_model(
+            library, suite.for_benchmark("CoMD"), n_clusters=3
+        )
+        k = suite.get("LU/Small/LUDecomposition")
+        pred = model.predict_kernel(
+            apu.run(k, CPU_SAMPLE), apu.run(k, GPU_SAMPLE)
+        )
+        assert all(
+            pw > 0 and pf > 0 for pw, pf in pred.predictions.values()
+        )
+
+    def test_two_kernel_training_minimum(self):
+        apu = TrinityAPU(noise=NoiseModel.exact(), seed=0)
+        library = ProfilingLibrary(apu, seed=0)
+        suite = build_suite()
+        kernels = suite.for_benchmark("LU")[:2]
+        chars = [characterize_kernel(library, k) for k in kernels]
+        model = AdaptiveModel.train(chars, n_clusters=1)
+        assert model.clustering.n_clusters == 1
+
+
+class TestForcedMisclassification:
+    def test_wrong_cluster_predictions_remain_finite(self):
+        """Even applying the *wrong* cluster's models (simulating a tree
+        mistake) must produce positive, finite predictions — the
+        scheduler can survive a bad cluster, not a NaN."""
+        apu = TrinityAPU(seed=0)
+        library = ProfilingLibrary(apu, seed=0)
+        suite = build_suite()
+        model = train_model(library, [k for k in suite if k.benchmark != "LU"])
+        k = suite.get("LU/Small/LUDecomposition")
+        cpu_m, gpu_m = apu.run(k, CPU_SAMPLE), apu.run(k, GPU_SAMPLE)
+        for cluster_id, models in model.cluster_models.items():
+            for cfg in apu.config_space:
+                pw, pf = models.predict(
+                    cfg,
+                    sample_perf_cpu=cpu_m.performance,
+                    sample_perf_gpu=gpu_m.performance,
+                    sample_power_cpu_w=cpu_m.total_power_w,
+                    sample_power_gpu_w=gpu_m.total_power_w,
+                )
+                assert np.isfinite(pw) and pw > 0
+                assert np.isfinite(pf) and pf > 0
+
+
+class TestPathologicalKernels:
+    def test_extremely_serial_kernel(self):
+        apu = TrinityAPU(noise=NoiseModel.exact())
+        k = make_kernel(parallel_fraction=0.0, gpu_affinity=0.01)
+        times = [apu.true_time_s(k, c) for c in apu.config_space]
+        assert all(np.isfinite(t) and t > 0 for t in times)
+        f = ParetoFrontier.from_measurements(apu.run_all_configs(k))
+        # A CPU-only frontier: the GPU never wins for this kernel.
+        assert all(not p.config.is_gpu for p in f)
+
+    def test_fully_memory_bound_kernel_has_flat_frontier(self):
+        apu = TrinityAPU(noise=NoiseModel.exact())
+        k = make_kernel(mem_fraction=0.97, gpu_affinity=0.5)
+        f = ParetoFrontier.from_measurements(apu.run_all_configs(k))
+        span = f.max_performance / f[0].performance
+        assert span < 4.0  # barely configuration-sensitive
+
+    def test_single_point_frontier_dissimilarity(self):
+        cfg = Configuration.cpu(1.4, 1)
+        single = ParetoFrontier(
+            [FrontierPoint(config=cfg, power_w=10.0, performance=1.0)]
+        )
+        # Against itself: identical composition, no order info.
+        d = frontier_dissimilarity(single, single)
+        assert 0.0 <= d <= 1.0
+
+
+class TestLimiterUnderNoise:
+    def test_limiter_converges_with_heavy_noise(self):
+        noise = NoiseModel(time_rel=0.1, power_rel=0.2)
+        apu = TrinityAPU(noise=noise, seed=1)
+        fl = FrequencyLimiter(apu)
+        k = make_kernel()
+        for cap in (15.0, 20.0, 30.0):
+            res = fl.limit_cpu_all_cores(k, cap)
+            assert res.final_config in apu.config_space
+            assert len(res.trace) <= 7  # at most the P-state ladder + 1
+
+    def test_limiter_noise_can_cause_misjudgement_but_not_crash(self):
+        noise = NoiseModel(power_rel=0.3)
+        apu = TrinityAPU(noise=noise, seed=2)
+        fl = FrequencyLimiter(apu)
+        k = make_kernel()
+        res = fl.limit(k, Configuration.gpu(0.819, 3.7), 25.0)
+        assert res.final_config.device.value in ("cpu", "gpu")

@@ -1,0 +1,71 @@
+"""Tests for repro.stats.agglomerative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import average_linkage_labels
+
+
+def _pairwise(points: np.ndarray) -> np.ndarray:
+    diff = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def test_recovers_two_blobs():
+    rng = np.random.default_rng(0)
+    pts = np.vstack(
+        [rng.normal(0, 0.3, size=(6, 2)), rng.normal(8, 0.3, size=(6, 2))]
+    )
+    labels = average_linkage_labels(_pairwise(pts), 2)
+    assert len(np.unique(labels[:6])) == 1
+    assert len(np.unique(labels[6:])) == 1
+    assert labels[0] != labels[6]
+
+
+def test_k_equals_n():
+    D = _pairwise(np.arange(4, dtype=float).reshape(-1, 1))
+    labels = average_linkage_labels(D, 4)
+    assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+
+def test_k_equals_one():
+    D = _pairwise(np.arange(5, dtype=float).reshape(-1, 1))
+    labels = average_linkage_labels(D, 1)
+    assert np.all(labels == 0)
+
+
+def test_labels_renumbered_in_first_appearance_order():
+    rng = np.random.default_rng(1)
+    pts = np.vstack(
+        [rng.normal(0, 0.1, size=(3, 1)), rng.normal(10, 0.1, size=(3, 1))]
+    )
+    labels = average_linkage_labels(_pairwise(pts), 2)
+    assert labels[0] == 0  # first point defines label 0
+
+
+def test_invalid_inputs():
+    D = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        average_linkage_labels(D, 0)
+    with pytest.raises(ValueError):
+        average_linkage_labels(D, 4)
+    with pytest.raises(ValueError):
+        average_linkage_labels(np.zeros((2, 3)), 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_produces_exactly_k_clusters(n, k, seed):
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    D = _pairwise(rng.normal(size=(n, 2)))
+    labels = average_linkage_labels(D, k)
+    assert labels.shape == (n,)
+    assert len(np.unique(labels)) == k
+    assert labels.min() == 0 and labels.max() == k - 1

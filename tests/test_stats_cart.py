@@ -1,0 +1,214 @@
+"""Unit and property tests for repro.stats.cart (CART classification tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ClassificationTree
+
+
+def test_single_threshold_problem():
+    X = np.array([[0.1], [0.2], [0.3], [0.7], [0.8], [0.9]])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    tree = ClassificationTree().fit(X, y)
+    np.testing.assert_array_equal(tree.predict(X), y)
+    assert tree.depth() == 1
+    assert tree.n_leaves() == 2
+
+
+def test_two_feature_problem():
+    # Class determined by x0 > 0.5 XOR-free: quadrant split needs depth 2.
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(200, 2))
+    y = (X[:, 0] > 0.5).astype(int) * 2 + (X[:, 1] > 0.5).astype(int)
+    tree = ClassificationTree(max_depth=4).fit(X, y)
+    acc = np.mean(tree.predict(X) == y)
+    assert acc > 0.95
+
+
+def test_arbitrary_labels_roundtrip():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array(["alpha", "alpha", "beta", "beta"])
+    tree = ClassificationTree().fit(X, y)
+    assert tree.predict(np.array([0.5])) == "alpha"
+    assert tree.predict(np.array([2.5])) == "beta"
+
+
+def test_pure_node_is_leaf():
+    X = np.arange(5, dtype=float).reshape(-1, 1)
+    y = np.zeros(5, dtype=int)
+    tree = ClassificationTree().fit(X, y)
+    assert tree.root.is_leaf
+    assert tree.n_leaves() == 1
+
+
+def test_max_depth_zero_gives_majority_stump():
+    X = np.arange(10, dtype=float).reshape(-1, 1)
+    y = np.array([0] * 7 + [1] * 3)
+    tree = ClassificationTree(max_depth=0).fit(X, y)
+    assert tree.root.is_leaf
+    assert np.all(tree.predict(X) == 0)
+
+
+def test_min_samples_leaf_respected():
+    X = np.arange(10, dtype=float).reshape(-1, 1)
+    y = np.array([0] * 9 + [1])
+    tree = ClassificationTree(min_samples_leaf=3).fit(X, y)
+
+    def check(node):
+        if node.is_leaf:
+            assert node.n_samples >= 3 or node.depth == 0
+        else:
+            check(node.left)
+            check(node.right)
+
+    check(tree.root)
+
+
+def test_identical_features_cannot_split():
+    X = np.ones((6, 2))
+    y = np.array([0, 1, 0, 1, 0, 1])
+    tree = ClassificationTree().fit(X, y)
+    assert tree.root.is_leaf  # no valid threshold exists
+
+
+def test_render_mentions_feature_names_and_clusters():
+    X = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+    y = np.array([0, 0, 1, 1])
+    tree = ClassificationTree(feature_names=("l2_miss_rate", "power")).fit(X, y)
+    text = tree.render()
+    assert "l2_miss_rate" in text
+    assert "cluster" in text
+    assert "yes:" in text and "no:" in text
+
+
+def test_unfitted_tree_raises():
+    tree = ClassificationTree()
+    with pytest.raises(RuntimeError):
+        tree.predict(np.zeros((1, 1)))
+    with pytest.raises(RuntimeError):
+        tree.render()
+
+
+def test_invalid_hyperparameters():
+    with pytest.raises(ValueError):
+        ClassificationTree(max_depth=-1)
+    with pytest.raises(ValueError):
+        ClassificationTree(min_samples_split=1)
+    with pytest.raises(ValueError):
+        ClassificationTree(min_samples_leaf=0)
+
+
+def test_invalid_fit_inputs():
+    tree = ClassificationTree()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3,)), np.zeros(3))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        tree.fit(np.array([[np.inf]]), np.array([0]))
+
+
+def test_predict_feature_width_check():
+    tree = ClassificationTree().fit(np.zeros((2, 3)), np.array([0, 1]))
+    with pytest.raises(ValueError):
+        tree.predict(np.zeros((1, 2)))
+
+
+def test_deterministic_fit():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(60, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    t1 = ClassificationTree(max_depth=5).fit(X, y)
+    t2 = ClassificationTree(max_depth=5).fit(X, y)
+    assert t1.render() == t2.render()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_training_accuracy_with_unbounded_depth(n, p, k, seed):
+    """With distinct rows and no depth cap, CART fits training data exactly."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    # Perturb to guarantee distinct values in feature 0.
+    X[:, 0] += np.arange(n) * 1e-3
+    y = rng.integers(0, k, size=n)
+    tree = ClassificationTree(max_depth=64).fit(X, y)
+    np.testing.assert_array_equal(tree.predict(X), y)
+
+
+class TestPruning:
+    def test_useless_splits_collapse_at_alpha_zero(self):
+        # Pure-noise labels: the tree overfits; alpha=0 keeps only
+        # splits that reduce training error, and collapsing a split
+        # that doesn't must shrink the tree.
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(40, 2))
+        y = np.array([0] * 36 + [1] * 4)
+        tree = ClassificationTree(max_depth=8).fit(X, rng.permutation(y))
+        before = tree.n_leaves()
+        # Noise splits isolate single samples: one error saved per extra
+        # leaf (g = 1), so alpha = 1 collapses them.
+        tree.prune(alpha=1.0)
+        assert tree.n_leaves() < before
+
+    def test_informative_split_survives(self):
+        X = np.array([[0.1], [0.2], [0.3], [0.7], [0.8], [0.9]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        tree = ClassificationTree().fit(X, y).prune(alpha=0.5)
+        assert not tree.root.is_leaf  # the perfect split stays
+        np.testing.assert_array_equal(tree.predict(X), y)
+
+    def test_huge_alpha_prunes_to_stump(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(60, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = ClassificationTree(max_depth=6).fit(X, y).prune(alpha=1e9)
+        assert tree.root.is_leaf
+
+    def test_prune_validation(self):
+        tree = ClassificationTree()
+        with pytest.raises(RuntimeError):
+            tree.prune(0.0)
+        tree.fit(np.zeros((2, 1)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            tree.prune(-1.0)
+
+    def test_pruned_tree_still_predicts(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(80, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        tree = ClassificationTree(max_depth=6).fit(X, y).prune(alpha=1.0)
+        acc = np.mean(tree.predict(X) == y)
+        assert acc > 0.8  # pruning trades little training accuracy
+
+    def test_training_error_monotone_in_alpha(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, size=100)
+
+        def train_error(alpha):
+            t = ClassificationTree(max_depth=10).fit(X, y).prune(alpha)
+            return np.mean(t.predict(X) != y)
+
+        errs = [train_error(a) for a in (0.0, 0.5, 2.0, 1e9)]
+        assert all(errs[i] <= errs[i + 1] + 1e-12 for i in range(len(errs) - 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_predictions_are_training_labels(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 2))
+    y = rng.integers(0, 3, size=30)
+    tree = ClassificationTree(max_depth=3).fit(X, y)
+    preds = tree.predict(rng.normal(size=(20, 2)))
+    assert set(np.unique(preds)).issubset(set(np.unique(y)))

@@ -1,0 +1,38 @@
+"""Tests for repro.stats.crossval."""
+
+import pytest
+
+from repro.stats import leave_one_group_out
+
+
+def test_basic_split():
+    groups = ["a", "a", "b", "c", "b"]
+    folds = list(leave_one_group_out(groups))
+    assert [f[0] for f in folds] == ["a", "b", "c"]
+    held, train, test = folds[0]
+    assert test == [0, 1]
+    assert train == [2, 3, 4]
+
+
+def test_train_test_partition_everything():
+    groups = ["x"] * 3 + ["y"] * 2 + ["z"]
+    for _, train, test in leave_one_group_out(groups):
+        assert sorted(train + test) == list(range(6))
+        assert not set(train) & set(test)
+
+
+def test_test_indices_all_share_held_out_group():
+    groups = ["l", "c", "l", "s", "c"]
+    for held, train, test in leave_one_group_out(groups):
+        assert all(groups[i] == held for i in test)
+        assert all(groups[i] != held for i in train)
+
+
+def test_single_group_raises():
+    with pytest.raises(ValueError):
+        list(leave_one_group_out(["only", "only"]))
+
+
+def test_deterministic_order_of_first_appearance():
+    groups = ["b", "a", "b", "c", "a"]
+    assert [f[0] for f in leave_one_group_out(groups)] == ["b", "a", "c"]

@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.stats.kendall, cross-checked vs scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import kendall_tau
+
+
+def test_identical_orders_give_plus_one():
+    assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+
+def test_reversed_orders_give_minus_one():
+    assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+
+def test_single_swap():
+    # One discordant pair out of 6: tau = (5 - 1) / 6.
+    assert kendall_tau([1, 2, 3, 4], [2, 1, 3, 4]) == pytest.approx(4 / 6)
+
+
+def test_too_short_returns_nan():
+    assert np.isnan(kendall_tau([1], [1]))
+    assert np.isnan(kendall_tau([], []))
+
+
+def test_constant_sequence_tau_b_nan():
+    assert np.isnan(kendall_tau([1, 1, 1], [1, 2, 3], variant="b"))
+
+
+def test_tau_a_with_ties_differs_from_tau_b():
+    x = [1, 1, 2, 3]
+    y = [1, 2, 3, 4]
+    tau_a = kendall_tau(x, y, variant="a")
+    tau_b = kendall_tau(x, y, variant="b")
+    assert abs(tau_b) >= abs(tau_a)  # tie correction shrinks the denominator
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        kendall_tau([1, 2], [1, 2, 3])
+
+
+def test_symmetry():
+    x = [3, 1, 4, 1.5, 5]
+    y = [2, 7, 1, 8, 2.5]
+    assert kendall_tau(x, y) == pytest.approx(kendall_tau(y, x))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=25,
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_matches_scipy_tau_b(xs, seed):
+    rng = np.random.default_rng(seed)
+    x = np.array(xs)
+    y = rng.permutation(x)
+    ours = kendall_tau(x, y, variant="b")
+    theirs = scipy.stats.kendalltau(x, y).statistic
+    if np.isnan(theirs):
+        assert np.isnan(ours)
+    else:
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=20),
+    st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=20),
+)
+def test_property_bounded(xs, ys):
+    n = min(len(xs), len(ys))
+    tau = kendall_tau(xs[:n], ys[:n], variant="a")
+    assert np.isnan(tau) or -1.0 - 1e-12 <= tau <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_property_permutation_self_and_negation(perm):
+    """tau(x, x) == 1 and tau(x, -x) == -1 for tie-free sequences."""
+    assert kendall_tau(perm, perm) == pytest.approx(1.0)
+    negated = [-v for v in perm]
+    assert kendall_tau(perm, negated) == pytest.approx(-1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.permutations(list(range(7))),
+    st.permutations(list(range(7))),
+)
+def test_property_negating_one_argument_flips_sign(x, y):
+    tau = kendall_tau(x, y)
+    neg_y = [-v for v in y]
+    assert kendall_tau(x, neg_y) == pytest.approx(-tau)

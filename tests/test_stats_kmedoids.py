@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.stats.kmedoids (PAM + silhouette)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import pam, silhouette_score
+
+
+def _pairwise(points: np.ndarray) -> np.ndarray:
+    diff = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def _three_blob_matrix(seed=0, per=8):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    pts = np.vstack([c + rng.normal(scale=0.4, size=(per, 2)) for c in centers])
+    return _pairwise(pts), np.repeat(np.arange(3), per)
+
+
+def test_pam_recovers_well_separated_blobs():
+    D, truth = _three_blob_matrix()
+    result = pam(D, 3)
+    # Cluster labels must be a relabeling of the ground truth.
+    for c in range(3):
+        members = result.labels[truth == c]
+        assert len(np.unique(members)) == 1
+    assert len(np.unique(result.labels[[0, 8, 16]])) == 3
+
+
+def test_pam_k_equals_n_gives_zero_cost():
+    D, _ = _three_blob_matrix(per=3)
+    result = pam(D, D.shape[0])
+    assert result.cost == pytest.approx(0.0)
+    assert sorted(result.medoids.tolist()) == list(range(D.shape[0]))
+
+
+def test_pam_k_equals_one():
+    D, _ = _three_blob_matrix(per=4)
+    result = pam(D, 1)
+    assert np.all(result.labels == 0)
+    # The single medoid must minimize total dissimilarity.
+    assert result.cost == pytest.approx(float(D.sum(axis=0).min()))
+
+
+def test_pam_deterministic():
+    D, _ = _three_blob_matrix(seed=5)
+    r1, r2 = pam(D, 3), pam(D, 3)
+    np.testing.assert_array_equal(r1.medoids, r2.medoids)
+    np.testing.assert_array_equal(r1.labels, r2.labels)
+
+
+def test_pam_invalid_inputs():
+    D, _ = _three_blob_matrix(per=2)
+    with pytest.raises(ValueError):
+        pam(D, 0)
+    with pytest.raises(ValueError):
+        pam(D, D.shape[0] + 1)
+    with pytest.raises(ValueError):
+        pam(np.array([[0.0, 1.0], [2.0, 0.0]]), 1)  # asymmetric
+    with pytest.raises(ValueError):
+        pam(np.full((3, 3), np.nan), 1)
+    bad = np.zeros((3, 3))
+    bad[0, 1] = bad[1, 0] = -1.0
+    with pytest.raises(ValueError):
+        pam(bad, 1)
+
+
+def test_silhouette_high_for_separated_blobs():
+    D, truth = _three_blob_matrix()
+    assert silhouette_score(D, truth) > 0.8
+
+
+def test_silhouette_penalizes_wrong_k():
+    D, truth = _three_blob_matrix()
+    good = silhouette_score(D, pam(D, 3).labels)
+    bad = silhouette_score(D, pam(D, 2).labels)
+    assert good > bad
+
+
+def test_silhouette_single_cluster_nan():
+    D, _ = _three_blob_matrix(per=2)
+    assert np.isnan(silhouette_score(D, np.zeros(D.shape[0], dtype=int)))
+
+
+def test_silhouette_singleton_contributes_zero():
+    D = _pairwise(np.array([[0.0], [0.1], [5.0]]))
+    labels = np.array([0, 0, 1])
+    score = silhouette_score(D, labels)
+    # Points 0 and 1 are tight vs far cluster -> near 1; singleton -> 0.
+    assert 0.5 < score < 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_pam_invariants(n, k, seed):
+    """Labels point at real medoids; every medoid owns itself; cost >= 0."""
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 2))
+    D = _pairwise(pts)
+    res = pam(D, k)
+    assert res.labels.shape == (n,)
+    assert np.all((0 <= res.labels) & (res.labels < k))
+    assert res.cost >= 0
+    for j, m in enumerate(res.medoids):
+        assert res.labels[m] == j  # each medoid is in its own cluster
+    # Assignment optimality: each point is no closer to another medoid.
+    for i in range(n):
+        own = D[i, res.medoids[res.labels[i]]]
+        assert own <= D[i, res.medoids].min() + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_silhouette_bounded(n, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 2))
+    D = _pairwise(pts)
+    labels = pam(D, 2).labels
+    s = silhouette_score(D, labels)
+    assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9

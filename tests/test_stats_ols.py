@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.stats.ols."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import fit_ols
+
+
+def test_exact_recovery_with_intercept():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50, 3))
+    beta = np.array([2.0, -1.0, 0.5])
+    y = 3.0 + X @ beta
+    model = fit_ols(X, y, intercept=True)
+    assert model.coef[0] == pytest.approx(3.0, abs=1e-9)
+    np.testing.assert_allclose(model.coef[1:], beta, atol=1e-9)
+    assert model.r_squared == pytest.approx(1.0, abs=1e-12)
+
+
+def test_exact_recovery_without_intercept():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(40, 2))
+    beta = np.array([1.5, -0.25])
+    y = X @ beta
+    model = fit_ols(X, y, intercept=False)
+    np.testing.assert_allclose(model.coef, beta, atol=1e-9)
+    assert model.r_squared == pytest.approx(1.0, abs=1e-12)
+
+
+def test_noisy_fit_r_squared_below_one():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(200, 2))
+    y = X @ np.array([1.0, 2.0]) + rng.normal(scale=0.5, size=200)
+    model = fit_ols(X, y, intercept=True)
+    assert 0.5 < model.r_squared < 1.0
+    np.testing.assert_allclose(model.coef[1:], [1.0, 2.0], atol=0.2)
+
+
+def test_predict_matches_training_fit():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(30, 4))
+    y = 1.0 + X @ np.array([0.5, -2.0, 0.0, 3.0])
+    model = fit_ols(X, y)
+    np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+
+def test_predict_single_row():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([2.0, 4.0, 6.0])
+    model = fit_ols(X, y, intercept=False)
+    assert model.predict(np.array([5.0])) == pytest.approx(10.0)
+
+
+def test_rank_deficient_design_is_handled():
+    # Duplicate column: lstsq must still produce a usable fit.
+    X = np.ones((10, 2))
+    X[:, 0] = np.arange(10)
+    X[:, 1] = np.arange(10)  # identical to column 0
+    y = 2.0 * np.arange(10)
+    model = fit_ols(X, y, intercept=False)
+    assert model.rank == 1
+    np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+
+def test_std_errors_shrink_with_more_data():
+    rng = np.random.default_rng(4)
+
+    def errs(n):
+        X = rng.normal(size=(n, 1))
+        y = 2.0 * X[:, 0] + rng.normal(scale=1.0, size=n)
+        return fit_ols(X, y, intercept=False).std_errors[0]
+
+    assert errs(2000) < errs(20)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        fit_ols(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        fit_ols(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        fit_ols(np.array([[np.nan]]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        fit_ols(np.zeros((3, 2, 2)), np.zeros(3))
+
+
+def test_summary_contains_names_and_r2():
+    X = np.arange(12, dtype=float).reshape(6, 2)
+    y = X[:, 0] + 2 * X[:, 1] + 1
+    model = fit_ols(X, y, feature_names=("freq", "threads"))
+    text = model.summary()
+    assert "freq" in text and "threads" in text and "R^2" in text
+
+
+def test_wrong_prediction_width_raises():
+    model = fit_ols(np.arange(6, dtype=float).reshape(3, 2), np.arange(3.0))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((2, 5)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=5, max_value=30),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_residuals_orthogonal_to_design(n, p, seed):
+    """OLS normal equations: residuals are orthogonal to every regressor."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = rng.normal(size=n)
+    model = fit_ols(X, y, intercept=True)
+    resid = y - model.predict(X)
+    A = np.hstack([np.ones((n, 1)), X])
+    np.testing.assert_allclose(A.T @ resid, np.zeros(p + 1), atol=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=25),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_r_squared_in_unit_interval_with_intercept(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = rng.normal(size=n)
+    model = fit_ols(X, y, intercept=True)
+    assert -1e-9 <= model.r_squared <= 1.0 + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for the microbenchmark generator."""
+
+import pytest
+
+from repro.workloads import microbenchmark_suite
+
+
+def test_default_grid_size():
+    micro = microbenchmark_suite()
+    assert len(micro) == 54  # 3 * 3 * 3 * 2
+
+
+def test_names_unique_and_descriptive():
+    micro = microbenchmark_suite()
+    names = [k.name for k in micro]
+    assert len(set(names)) == len(names)
+    assert all(n.startswith("ub_mem") for n in names)
+
+
+def test_deterministic():
+    a = microbenchmark_suite()
+    b = microbenchmark_suite()
+    for ka, kb in zip(a, b):
+        assert ka == kb
+
+
+def test_grid_axes_swept():
+    micro = microbenchmark_suite()
+    mems = {k.characteristics.mem_fraction for k in micro}
+    pars = {k.characteristics.parallel_fraction for k in micro}
+    affs = {k.characteristics.gpu_affinity for k in micro}
+    acts = {k.characteristics.activity for k in micro}
+    assert len(mems) == 3 and len(pars) == 3 and len(affs) == 3 and len(acts) == 2
+
+
+def test_custom_levels():
+    micro = microbenchmark_suite(
+        mem_levels=(0.5,),
+        parallel_levels=(0.9,),
+        gpu_affinity_levels=(1.0, 5.0),
+        activity_levels=(0.8,),
+    )
+    assert len(micro) == 2
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        microbenchmark_suite(mem_levels=())
+
+
+def test_weights_sum_to_one():
+    micro = microbenchmark_suite()
+    assert sum(k.time_weight for k in micro) == pytest.approx(1.0)
+
+
+def test_characteristics_valid_and_benchmark_labelled():
+    micro = microbenchmark_suite()
+    for k in micro:
+        assert k.benchmark == "Microbench"
+        assert 0.0 <= k.characteristics.gpu_mem_fraction <= 0.95
+        assert k.characteristics.work_s > 0
