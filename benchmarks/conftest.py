@@ -15,9 +15,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import ParetoFrontier
+from repro.core import AdaptiveModel, ParetoFrontier
 from repro.evaluation import run_loocv
 from repro.hardware import NoiseModel, TrinityAPU
+from repro.profiling import CharacterizationStore
 from repro.workloads import build_suite
 
 ARTIFACT_DIR = Path(__file__).parent / "artifacts"
@@ -53,3 +54,27 @@ def suite_frontiers(exact_apu, suite):
         k.uid: ParetoFrontier.from_measurements(exact_apu.run_all_configs(k))
         for k in suite
     }
+
+
+@pytest.fixture(scope="session")
+def char_store(exact_apu):
+    """Profile-once characterization store over the noise-free machine.
+
+    Benchmarks that need exhaustive characterizations slice them from
+    this shared store instead of each re-profiling the suite on all 42
+    configurations.
+    """
+    return CharacterizationStore(exact_apu, seed=0)
+
+
+def train_from_store(store, kernels, **train_kwargs):
+    """Train an :class:`AdaptiveModel` from store-served
+    characterizations and a cached dissimilarity submatrix."""
+    return AdaptiveModel.train(
+        store.characterize(kernels),
+        dissimilarity=store.dissimilarity_submatrix(
+            kernels,
+            composition_weight=train_kwargs.get("composition_weight"),
+        ),
+        **train_kwargs,
+    )

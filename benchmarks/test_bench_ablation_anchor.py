@@ -15,26 +15,25 @@ The timed operation is offline training without the anchor.
 
 import numpy as np
 
-from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel, characterize_kernel
-from repro.profiling import ProfilingLibrary
+from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel
 
 from conftest import write_artifact
 
 
-def test_ablation_power_anchor(benchmark, exact_apu, suite):
-    library = ProfilingLibrary(exact_apu, seed=0)
+def test_ablation_power_anchor(benchmark, exact_apu, suite, char_store):
     train = [k for k in suite if k.benchmark != "SMC"]
-    chars = [characterize_kernel(library, k) for k in train]
+    chars = char_store.characterize(train)
     test = suite.for_benchmark("SMC")
     samples = {
         k.uid: (exact_apu.run(k, CPU_SAMPLE), exact_apu.run(k, GPU_SAMPLE))
         for k in test
     }
 
+    dissim = char_store.dissimilarity_submatrix(train)
     model_plain = benchmark(
-        lambda: AdaptiveModel.train(chars, power_anchor=False)
+        lambda: AdaptiveModel.train(chars, power_anchor=False, dissimilarity=dissim)
     )
-    model_anchored = AdaptiveModel.train(chars, power_anchor=True)
+    model_anchored = AdaptiveModel.train(chars, power_anchor=True, dissimilarity=dissim)
 
     def power_error(model):
         errs = []

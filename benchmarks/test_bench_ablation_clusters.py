@@ -22,18 +22,18 @@ characterizations.
 
 import numpy as np
 
-from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel, characterize_kernel
+from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel
 from repro.core import cluster_kernels
-from repro.profiling import ProfilingLibrary
 
 from conftest import write_artifact
 
 SWEEP_KS = (1, 2, 3, 5, 8, 20)
 
 
-def test_ablation_cluster_count(benchmark, exact_apu, suite, suite_frontiers):
-    library = ProfilingLibrary(exact_apu, seed=0)
-    chars = {k.uid: characterize_kernel(library, k) for k in suite}
+def test_ablation_cluster_count(
+    benchmark, exact_apu, suite, suite_frontiers, char_store
+):
+    chars = {k.uid: char_store.characterization(k) for k in suite}
     samples = {
         k.uid: (exact_apu.run(k, CPU_SAMPLE), exact_apu.run(k, GPU_SAMPLE))
         for k in suite

@@ -21,18 +21,15 @@ from repro.core import (
     CPU_SAMPLE,
     GPU_SAMPLE,
     Scheduler,
-    train_model,
 )
 from repro.methods import Oracle
-from repro.profiling import ProfilingLibrary
 
-from conftest import write_artifact
+from conftest import train_from_store, write_artifact
 
 
-def test_ablation_risk_aware_selection(benchmark, exact_apu, suite):
-    library = ProfilingLibrary(exact_apu, seed=0)
+def test_ablation_risk_aware_selection(benchmark, exact_apu, suite, char_store):
     train = [k for k in suite if k.benchmark != "LU"]
-    model = train_model(library, train)
+    model = train_from_store(char_store, train)
     oracle = Oracle(exact_apu)
     sched = Scheduler()
     test = suite.for_benchmark("LU")

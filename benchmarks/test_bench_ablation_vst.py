@@ -16,16 +16,16 @@ The timed operation is offline training with the transform enabled.
 
 import numpy as np
 
-from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel, characterize_kernel
-from repro.profiling import ProfilingLibrary
+from repro.core import CPU_SAMPLE, GPU_SAMPLE, AdaptiveModel
 
 from conftest import write_artifact
 
 
-def test_ablation_variance_stabilizing_transform(benchmark, exact_apu, suite):
-    library = ProfilingLibrary(exact_apu, seed=0)
+def test_ablation_variance_stabilizing_transform(
+    benchmark, exact_apu, suite, char_store
+):
     train = [k for k in suite if k.benchmark != "LU"]
-    chars = [characterize_kernel(library, k) for k in train]
+    chars = char_store.characterize(train)
     test = suite.for_benchmark("LU")
     samples = {
         k.uid: (exact_apu.run(k, CPU_SAMPLE), exact_apu.run(k, GPU_SAMPLE))

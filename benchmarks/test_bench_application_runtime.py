@@ -19,12 +19,11 @@ The timed operation is one adaptive timestep (all kernels, scheduled
 phase).
 """
 
-from repro.core import train_model
 from repro.hardware import Configuration
 from repro.profiling import ProfilingLibrary
 from repro.runtime import AdaptiveRuntime, Application, OracleRuntime, StaticRuntime
 
-from conftest import write_artifact
+from conftest import train_from_store, write_artifact
 
 TIMESTEPS = 10
 
@@ -33,11 +32,10 @@ def _caps(t: int) -> float:
     return 28.0 if t < TIMESTEPS // 2 else 16.0
 
 
-def test_application_level_adaptation(benchmark, exact_apu, suite):
+def test_application_level_adaptation(benchmark, exact_apu, suite, char_store):
     app = Application.from_suite(suite, "CoMD Small")
-    library = ProfilingLibrary(exact_apu, seed=0)
-    model = train_model(
-        library, [k for k in suite if k.benchmark != "CoMD"]
+    model = train_from_store(
+        char_store, [k for k in suite if k.benchmark != "CoMD"]
     )
 
     adaptive_rt = AdaptiveRuntime(model, ProfilingLibrary(exact_apu, seed=1))

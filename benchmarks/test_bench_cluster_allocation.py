@@ -19,11 +19,9 @@ The timed operation is one greedy allocation from cached frontiers
 """
 
 from repro.cluster import ClusterNode, ClusterPowerManager
-from repro.core import train_model
-from repro.profiling import ProfilingLibrary
 from repro.runtime import Application
 
-from conftest import write_artifact
+from conftest import train_from_store, write_artifact
 
 BUDGET_W = 72.0
 EPOCHS = 2
@@ -31,9 +29,8 @@ TIMESTEPS = 3
 GROUPS = ["LU Small", "LU Large", "CoMD Small", "SMC Ref"]
 
 
-def test_cluster_budget_allocation(benchmark, exact_apu, suite):
-    library = ProfilingLibrary(exact_apu, seed=0)
-    model = train_model(library, suite.for_benchmark("LULESH"))
+def test_cluster_budget_allocation(benchmark, exact_apu, suite, char_store):
+    model = train_from_store(char_store, suite.for_benchmark("LULESH"))
 
     def build_nodes():
         return [

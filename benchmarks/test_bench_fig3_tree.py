@@ -10,17 +10,17 @@ The timed operation is classifier training (tree induction).
 
 import numpy as np
 
-from repro.core import ClusterClassifier, cluster_kernels, characterize_kernel
+from repro.core import ClusterClassifier, cluster_kernels
 from repro.core.classifier import SAMPLE_FEATURE_NAMES
-from repro.profiling import ProfilingLibrary
 
 from conftest import write_artifact
 
 
-def test_fig3_classification_tree(benchmark, exact_apu, suite, suite_frontiers):
+def test_fig3_classification_tree(
+    benchmark, exact_apu, suite, suite_frontiers, char_store
+):
     train = [k for k in suite if k.benchmark != "LU"]
-    library = ProfilingLibrary(exact_apu, seed=0)
-    chars = [characterize_kernel(library, k) for k in train]
+    chars = char_store.characterize(train)
     clustering = cluster_kernels({c.kernel_uid: suite_frontiers[c.kernel_uid] for c in chars})
     labels = [clustering.labels[c.kernel_uid] for c in chars]
 

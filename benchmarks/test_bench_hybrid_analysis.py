@@ -26,7 +26,11 @@ The timed operation is one whole-space hybrid sweep for one kernel.
 import numpy as np
 
 from repro.core import ParetoFrontier
-from repro.hardware.hybrid import best_hybrid_under_cap, hybrid_execution
+from repro.hardware.hybrid import (
+    best_hybrid_under_cap,
+    enumerate_hybrid_points,
+    hybrid_execution,
+)
 from repro.hardware import pstates
 
 from conftest import write_artifact
@@ -58,8 +62,17 @@ def test_hybrid_exclusion_argument(benchmark, exact_apu, suite):
         frontier = _single_device_frontier(exact_apu, k)
         best_single_perf = frontier.max_performance
 
+        # The hybrid point set is cap-independent: enumerate it once per
+        # efficiency and reuse across every cap below.
+        points = {
+            eff: enumerate_hybrid_points(k.characteristics, efficiency=eff)
+            for eff in (1.0, 0.8)
+        }
+
         # Unconstrained ideal hybrid.
-        best_hybrid = best_hybrid_under_cap(k.characteristics, float("inf"))
+        best_hybrid = best_hybrid_under_cap(
+            k.characteristics, float("inf"), points=points[1.0]
+        )
         if best_hybrid.performance > best_single_perf:
             hybrid_wins_unconstrained += 1
 
@@ -76,7 +89,7 @@ def test_hybrid_exclusion_argument(benchmark, exact_apu, suite):
             single = frontier.best_under_cap(cap)
             for eff in (1.0, 0.8):
                 hybrid = best_hybrid_under_cap(
-                    k.characteristics, cap, efficiency=eff
+                    k.characteristics, cap, efficiency=eff, points=points[eff]
                 )
                 if hybrid is None:
                     capped_single_wins[eff] += 1

@@ -1,0 +1,87 @@
+"""End-to-end LOOCV runtime: the profile-once pipeline's receipt.
+
+Times the full cross-validated evaluation two ways:
+
+* **cold** — a fresh private :class:`CharacterizationStore`, so the run
+  pays the exhaustive characterization sweep itself;
+* **warm** — the process-shared store (already populated by the session
+  ``loocv_report`` fixture), the steady state every repeated evaluation
+  (ablations, sweeps, figure regeneration) runs in.
+
+Both must produce records identical to the session report — caching
+changes wall-clock time, never results.  The measured numbers, with the
+per-phase breakdown from :class:`LOOCVReport.timings
+<repro.evaluation.loocv.LOOCVTimings>`, are written to
+``BENCH_loocv.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.evaluation import run_loocv
+from repro.profiling import CharacterizationStore
+from repro.workloads import build_suite
+
+from conftest import write_artifact
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_loocv.json"
+
+
+def _timings_dict(report) -> dict:
+    t = report.timings
+    return {
+        "profile_s": round(t.profile_s, 4),
+        "train_s": round(t.train_s, 4),
+        "evaluate_s": round(t.evaluate_s, 4),
+        "wall_s": round(t.wall_s, 4),
+        "n_jobs": t.n_jobs,
+    }
+
+
+def test_loocv_end_to_end_runtime(benchmark, loocv_report):
+    suite = build_suite()
+
+    # Cold: private store, nothing cached anywhere.
+    t0 = time.perf_counter()
+    cold = run_loocv(suite, seed=0, store=CharacterizationStore(seed=0))
+    cold_wall = time.perf_counter() - t0
+
+    # Warm: the shared store the session fixture already populated.
+    warm = benchmark.pedantic(
+        run_loocv, args=(suite,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+
+    # Caching must never change results.
+    assert cold.records == loocv_report.records
+    assert warm.records == loocv_report.records
+
+    payload = {
+        "experiment": "run_loocv(seed=0) end to end",
+        "records": len(warm.records),
+        "cold": {"wall_s": round(cold_wall, 4), **_timings_dict(cold)},
+        "warm": _timings_dict(warm),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    text = "\n".join(
+        [
+            "End-to-end LOOCV runtime (profile-once pipeline)",
+            f"  cold (fresh store): {cold_wall:6.2f} s  "
+            f"(profile {cold.timings.profile_s:.2f} s, "
+            f"train {cold.timings.train_s:.2f} s, "
+            f"evaluate {cold.timings.evaluate_s:.2f} s)",
+            f"  warm (shared store): {warm.timings.wall_s:6.2f} s  "
+            f"(profile {warm.timings.profile_s:.2f} s, "
+            f"train {warm.timings.train_s:.2f} s, "
+            f"evaluate {warm.timings.evaluate_s:.2f} s)",
+        ]
+    )
+    write_artifact("loocv_runtime.txt", text)
+    print("\n" + text)
+
+    # The warm path must actually skip the exhaustive sweep.
+    assert warm.timings.profile_s < cold.timings.profile_s
+    assert warm.timings.wall_s < cold_wall

@@ -9,16 +9,16 @@ complete online decision — tree classification + whole-space prediction
 the sub-millisecond claim holds for our implementation too.
 """
 
-from repro.core import CPU_SAMPLE, GPU_SAMPLE, Scheduler, train_model
-from repro.profiling import ProfilingLibrary
+from repro.core import CPU_SAMPLE, GPU_SAMPLE, Scheduler
 
-from conftest import write_artifact
+from conftest import train_from_store, write_artifact
 
 
-def test_online_selection_under_one_millisecond(benchmark, exact_apu, suite):
-    library = ProfilingLibrary(exact_apu, seed=0)
+def test_online_selection_under_one_millisecond(
+    benchmark, exact_apu, suite, char_store
+):
     train = [k for k in suite if k.benchmark != "LU"]
-    model = train_model(library, train)
+    model = train_from_store(char_store, train)
     scheduler = Scheduler()
 
     kernel = suite.get("LU/Small/LUDecomposition")

@@ -100,9 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the CPU+FL / GPU+FL baselines",
     )
+    p_eval.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="folds to evaluate concurrently (-1 = one per CPU); "
+        "results are identical for any value",
+    )
 
-    sub.add_parser(
+    p_acc = sub.add_parser(
         "accuracy", help="cross-validated prediction accuracy (MAPE, rank tau)"
+    )
+    p_acc.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="folds to evaluate concurrently (-1 = one per CPU)",
     )
 
     p_rt = sub.add_parser(
@@ -120,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "-o", "--output-dir", required=True, help="artifact directory"
+    )
+    p_report.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="cross-validation folds to run concurrently (-1 = one per CPU)",
     )
     return parser
 
@@ -199,8 +218,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     report = run_loocv(
         seed=args.seed,
         include_freq_limiting=not args.no_freq_limiting,
+        n_jobs=args.n_jobs,
     )
     print(render_table3(summarize(report.records), title="Methods vs oracle:"))
+    t = report.timings
+    print(
+        f"\ntiming: profile {t.profile_s:.1f} s, train {t.train_s:.1f} s, "
+        f"evaluate {t.evaluate_s:.1f} s, wall {t.wall_s:.1f} s "
+        f"(n_jobs={t.n_jobs})"
+    )
     return 0
 
 
@@ -208,7 +234,7 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.evaluation import evaluate_prediction_accuracy
 
     print("Scoring cross-validated prediction accuracy (~10 s) ...")
-    report = evaluate_prediction_accuracy(seed=args.seed)
+    report = evaluate_prediction_accuracy(seed=args.seed, n_jobs=args.n_jobs)
     print(report.summary())
     return 0
 
@@ -254,7 +280,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         (out / f"{result.experiment_id}.txt").write_text(
             result.text + "\n", encoding="utf-8"
         )
-    for key, result in experiment_table3_and_figures(seed=args.seed).items():
+    for key, result in experiment_table3_and_figures(
+        seed=args.seed, n_jobs=args.n_jobs
+    ).items():
         (out / f"{key}.txt").write_text(result.text + "\n", encoding="utf-8")
     written = sorted(p.name for p in out.glob("*.txt"))
     print(f"Wrote {len(written)} artifacts to {out}/:")

@@ -21,6 +21,7 @@ schedulers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.model import AdaptiveModel
@@ -185,9 +186,12 @@ class ClusterNode:
             min(pw for pw, _ in pred.predictions.values())
             for pred in predictions.values()
         )
+        # Round candidate caps *up*: rounding down could land a cap
+        # between the floor and the power level that generated it,
+        # making the floor kernel infeasible at its own candidate.
         candidate_caps = sorted(
             {
-                round(pw, 6)
+                math.ceil(pw * 1e6) / 1e6
                 for pred in predictions.values()
                 for pw, _ in pred.predictions.values()
                 if pw >= floor - 1e-9

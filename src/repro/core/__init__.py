@@ -27,7 +27,11 @@ from repro.core.clustering import (
     choose_n_clusters,
     cluster_kernels,
 )
-from repro.core.dissimilarity import dissimilarity_matrix, frontier_dissimilarity
+from repro.core.dissimilarity import (
+    DissimilarityCache,
+    dissimilarity_matrix,
+    frontier_dissimilarity,
+)
 from repro.core.features import (
     CPU_FEATURE_NAMES,
     GPU_FEATURE_NAMES,
@@ -51,6 +55,7 @@ __all__ = [
     "ClusteringResult",
     "DEFAULT_N_CLUSTERS",
     "DeviceModels",
+    "DissimilarityCache",
     "FrontierPoint",
     "GPU_FEATURE_NAMES",
     "GPU_SAMPLE",

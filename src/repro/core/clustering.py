@@ -71,6 +71,7 @@ def cluster_kernels(
     n_clusters: int = DEFAULT_N_CLUSTERS,
     method: Literal["pam", "average"] = "pam",
     composition_weight: float | None = None,
+    dissimilarity: np.ndarray | None = None,
 ) -> ClusteringResult:
     """Group kernels into clusters by frontier similarity.
 
@@ -88,16 +89,30 @@ def cluster_kernels(
         the dissimilarity (see
         :func:`repro.core.dissimilarity.frontier_dissimilarity`);
         ``None`` uses the package default.
+    dissimilarity:
+        Optional precomputed dissimilarity matrix in ``frontiers``
+        iteration order (e.g. a
+        :class:`~repro.core.dissimilarity.DissimilarityCache`
+        submatrix).  When given, ``composition_weight`` is assumed to be
+        already baked in and the matrix is used as-is.
     """
     uids = list(frontiers.keys())
     if n_clusters < 1 or n_clusters > len(uids):
         raise ValueError(
             f"n_clusters={n_clusters} invalid for {len(uids)} kernels"
         )
-    kwargs = {}
-    if composition_weight is not None:
-        kwargs["composition_weight"] = composition_weight
-    D = dissimilarity_matrix(frontiers, **kwargs)
+    if dissimilarity is not None:
+        D = np.asarray(dissimilarity, dtype=float)
+        if D.shape != (len(uids), len(uids)):
+            raise ValueError(
+                f"dissimilarity shape {D.shape} does not match "
+                f"{len(uids)} kernels"
+            )
+    else:
+        kwargs = {}
+        if composition_weight is not None:
+            kwargs["composition_weight"] = composition_weight
+        D = dissimilarity_matrix(frontiers, **kwargs)
 
     if method == "pam":
         result = pam(D, n_clusters)

@@ -29,6 +29,14 @@ composition term::
 with ``composition_weight`` ``w`` (default 0.5).  ``w = 0`` recovers the
 narrowest literal reading of the paper; the clustering ablation
 benchmark compares both.
+
+:func:`dissimilarity_matrix` computes all pairs at once with broadcast
+pair-counting: each frontier becomes a row of configuration positions,
+the per-kernel sign matrices of position differences are flattened, and
+one matrix product yields every pair's concordant-minus-discordant
+count.  :class:`DissimilarityCache` keeps the full-suite matrix around
+so cross-validation folds and ablation variants slice submatrices
+instead of recomputing pairs.
 """
 
 from __future__ import annotations
@@ -40,7 +48,11 @@ import numpy as np
 from repro.core.frontier import ParetoFrontier
 from repro.stats.kendall import kendall_tau
 
-__all__ = ["frontier_dissimilarity", "dissimilarity_matrix"]
+__all__ = [
+    "frontier_dissimilarity",
+    "dissimilarity_matrix",
+    "DissimilarityCache",
+]
 
 
 #: Default blend between composition (Jaccard) and order (Kendall) terms.
@@ -82,6 +94,65 @@ def frontier_dissimilarity(
     )
 
 
+def _position_matrix(frontiers: Sequence[ParetoFrontier]) -> np.ndarray:
+    """Frontier positions as an ``(n_kernels, n_configs)`` int matrix.
+
+    Columns cover the union of configurations across all frontiers;
+    entry ``[k, c]`` is configuration ``c``'s position on kernel ``k``'s
+    frontier, or ``-1`` when absent.
+    """
+    columns: dict = {}
+    rows: list[dict[int, int]] = []
+    for frontier in frontiers:
+        row: dict[int, int] = {}
+        for pos, point in enumerate(frontier):
+            col = columns.setdefault(point.config, len(columns))
+            row[col] = pos
+        rows.append(row)
+    P = np.full((len(frontiers), len(columns)), -1, dtype=np.int32)
+    for k, row in enumerate(rows):
+        for col, pos in row.items():
+            P[k, col] = pos
+    return P
+
+
+def _matrix_from_positions(P: np.ndarray, composition_weight: float) -> np.ndarray:
+    """All-pairs dissimilarities from a position matrix, vectorized."""
+    present = P >= 0
+    sizes = present.sum(axis=1).astype(np.float64)
+    shared = present.astype(np.float64) @ present.T.astype(np.float64)
+    union = sizes[:, None] + sizes[None, :] - shared
+    jaccard_term = 1.0 - np.divide(
+        shared, union, out=np.ones_like(shared), where=union > 0
+    )
+
+    # Per-kernel sign matrix of position differences, zeroed where either
+    # configuration is absent, flattened over the upper triangle.  For a
+    # kernel pair, every configuration pair shared by both contributes
+    # +1 (concordant) or -1 (discordant) to the inner product — broadcast
+    # pair-counting of the paper's tau-a over the shared subset.
+    n, m = P.shape
+    iu = np.triu_indices(m, k=1)
+    signs = np.sign(P[:, :, None] - P[:, None, :])
+    signs *= present[:, :, None] & present[:, None, :]
+    flat = signs[:, iu[0], iu[1]].astype(np.float64)
+    concordant_minus_discordant = flat @ flat.T
+
+    n_pairs = shared * (shared - 1.0) / 2.0
+    tau = np.divide(
+        concordant_minus_discordant,
+        n_pairs,
+        out=np.zeros((n, n)),
+        where=n_pairs > 0,
+    )
+    order_term = np.where(shared >= 2, (1.0 - tau) / 2.0, 1.0)
+
+    D = composition_weight * jaccard_term + (1.0 - composition_weight) * order_term
+    D = (D + D.T) / 2.0  # exact symmetry despite float matmul
+    np.fill_diagonal(D, 0.0)
+    return np.clip(D, 0.0, 1.0)
+
+
 def dissimilarity_matrix(
     frontiers: Sequence[ParetoFrontier] | Mapping[str, ParetoFrontier],
     *,
@@ -92,18 +163,65 @@ def dissimilarity_matrix(
     Accepts a sequence of frontiers or a mapping (values are used in
     iteration order, which for dicts is insertion order).
     """
+    if not 0.0 <= composition_weight <= 1.0:
+        raise ValueError("composition_weight must be in [0, 1]")
     if isinstance(frontiers, Mapping):
         items = list(frontiers.values())
     else:
         items = list(frontiers)
-    n = len(items)
-    if n == 0:
+    if not items:
         raise ValueError("need at least one frontier")
-    D = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = frontier_dissimilarity(
-                items[i], items[j], composition_weight=composition_weight
-            )
-            D[i, j] = D[j, i] = d
-    return D
+    return _matrix_from_positions(_position_matrix(items), composition_weight)
+
+
+class DissimilarityCache:
+    """Reusable all-pairs dissimilarities over a growing frontier set.
+
+    Register frontiers once (e.g. the full benchmark suite's); every
+    cross-validation fold or ablation variant then takes its training
+    subset's matrix as a submatrix slice instead of re-running the
+    pairwise comparisons.  Full matrices are cached per composition
+    weight and invalidated when new frontiers are registered.
+    """
+
+    def __init__(self) -> None:
+        self._uids: list[str] = []
+        self._index: dict[str, int] = {}
+        self._frontiers: list[ParetoFrontier] = []
+        self._matrices: dict[float, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._uids)
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._index
+
+    def add(self, uid: str, frontier: ParetoFrontier) -> None:
+        """Register one kernel's frontier (no-op if already present)."""
+        if uid in self._index:
+            return
+        self._index[uid] = len(self._uids)
+        self._uids.append(uid)
+        self._frontiers.append(frontier)
+        self._matrices.clear()
+
+    def submatrix(
+        self,
+        uids: Sequence[str],
+        *,
+        composition_weight: float = DEFAULT_COMPOSITION_WEIGHT,
+    ) -> np.ndarray:
+        """The dissimilarity matrix of a kernel subset, in ``uids`` order.
+
+        All requested uids must have been registered with :meth:`add`.
+        """
+        missing = [u for u in uids if u not in self._index]
+        if missing:
+            raise KeyError(f"frontiers not registered: {missing[:3]}")
+        w = float(composition_weight)
+        full = self._matrices.get(w)
+        if full is None:
+            full = dissimilarity_matrix(self._frontiers, composition_weight=w)
+            self._matrices[w] = full
+        idx = np.array([self._index[u] for u in uids], dtype=np.intp)
+        return full[np.ix_(idx, idx)].copy()

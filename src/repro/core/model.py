@@ -103,13 +103,18 @@ class AdaptiveModel:
         tree_max_depth: int = 4,
         tree_min_samples_leaf: int = 2,
         config_space: ConfigSpace | None = None,
+        dissimilarity: np.ndarray | None = None,
     ) -> "AdaptiveModel":
         """Run the full offline pipeline on training characterizations.
 
         Parameters mirror the paper's knobs: ``n_clusters`` (paper: 5),
         the relational clustering method, the optional future-work
         variance-stabilizing ``transform``, the power-anchor extension,
-        and the tree's capacity.
+        and the tree's capacity.  ``dissimilarity`` optionally supplies
+        a precomputed frontier-dissimilarity matrix in
+        ``characterizations`` order (e.g. sliced from a
+        :class:`~repro.core.dissimilarity.DissimilarityCache`),
+        skipping the pairwise frontier comparisons.
         """
         if not characterizations:
             raise ValueError("cannot train on zero kernels")
@@ -123,6 +128,7 @@ class AdaptiveModel:
             n_clusters=n_clusters,
             method=clustering_method,
             composition_weight=composition_weight,
+            dissimilarity=dissimilarity,
         )
 
         by_cluster: dict[int, list[KernelCharacterization]] = {}

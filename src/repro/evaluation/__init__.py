@@ -21,7 +21,12 @@ from repro.evaluation.experiments import (
     experiment_table3_and_figures,
 )
 from repro.evaluation.harness import CapEvaluation, evaluate_kernel, evaluate_suite
-from repro.evaluation.loocv import LOOCVReport, run_loocv
+from repro.evaluation.loocv import (
+    LOOCVReport,
+    LOOCVTimings,
+    resolve_n_jobs,
+    run_loocv,
+)
 from repro.evaluation.metrics import MethodSummary, summarize, summarize_by_group
 from repro.evaluation.sensitivity import (
     SensitivityPoint,
@@ -43,6 +48,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "LOOCVReport",
+    "LOOCVTimings",
     "MethodSummary",
     "evaluate_kernel",
     "evaluate_suite",
@@ -55,6 +61,7 @@ __all__ = [
     "render_group_bars",
     "render_sweep",
     "render_table3",
+    "resolve_n_jobs",
     "run_loocv",
     "SensitivityPoint",
     "sweep_hyperparameter",

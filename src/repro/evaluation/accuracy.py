@@ -18,18 +18,24 @@ prediction-accuracy benchmark.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.model import train_model
+from repro.core.model import AdaptiveModel
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
-from repro.hardware.apu import TrinityAPU
+from repro.evaluation.loocv import resolve_n_jobs
 from repro.profiling.library import ProfilingLibrary
+from repro.profiling.store import CharacterizationStore
 from repro.stats.kendall import kendall_tau
 from repro.workloads.suite import Suite, build_suite
 
 __all__ = ["KernelAccuracy", "AccuracyReport", "evaluate_prediction_accuracy"]
+
+#: Entropy tag keeping the accuracy evaluation's online-sample streams
+#: disjoint from run_loocv's fold streams under the same master seed.
+_ACCURACY_STREAM_TAG: int = 0x7919
 
 
 @dataclass(frozen=True)
@@ -100,28 +106,39 @@ def evaluate_prediction_accuracy(
     n_clusters: int = 5,
     transform: str = "none",
     power_anchor: bool = True,
+    n_jobs: int = 1,
+    store: CharacterizationStore | None = None,
 ) -> AccuracyReport:
     """Leave-one-benchmark-out prediction accuracy for every kernel.
 
     For each fold the model is trained on the other benchmarks, each
     held-out kernel runs its two sample iterations, and the model's
-    whole-space predictions are scored against ground truth.
+    whole-space predictions are scored against ground truth.  Training
+    profiles come from the shared profile-once characterization store
+    (or an explicit ``store``); ``n_jobs`` runs folds concurrently with
+    results identical for any value.
     """
     suite = suite if suite is not None else build_suite()
-    apu = TrinityAPU(seed=seed)
-    results: list[KernelAccuracy] = []
+    if store is None:
+        store = CharacterizationStore.shared(suite, seed=seed)
+    apu = store.apu
+    store.characterize(list(suite))
+    benchmarks = list(suite.benchmarks())
+    fold_streams = np.random.SeedSequence(
+        [seed, _ACCURACY_STREAM_TAG]
+    ).spawn(len(benchmarks))
 
-    for fold_i, benchmark in enumerate(suite.benchmarks()):
+    def run_fold(fold_i: int, benchmark: str) -> list[KernelAccuracy]:
         train_kernels = [k for k in suite if k.benchmark != benchmark]
-        library = ProfilingLibrary(apu, seed=seed * 7919 + fold_i)
-        model = train_model(
-            library,
-            train_kernels,
+        model = AdaptiveModel.train(
+            store.characterize(train_kernels),
             n_clusters=n_clusters,
             transform=transform,
             power_anchor=power_anchor,
+            dissimilarity=store.dissimilarity_submatrix(train_kernels),
         )
-        online = ProfilingLibrary(apu, seed=seed * 7919 + 1000 + fold_i)
+        online = ProfilingLibrary(apu, seed=fold_streams[fold_i])
+        fold_results: list[KernelAccuracy] = []
         for kernel in suite.for_benchmark(benchmark):
             cpu_m = online.profile(kernel, CPU_SAMPLE).measurement
             gpu_m = online.profile(kernel, GPU_SAMPLE).measurement
@@ -138,7 +155,7 @@ def evaluate_prediction_accuracy(
             true_p, true_f = np.array(true_p), np.array(true_f)
             ape_p = np.abs(pred_p - true_p) / true_p
             ape_f = np.abs(pred_f - true_f) / true_f
-            results.append(
+            fold_results.append(
                 KernelAccuracy(
                     kernel_uid=kernel.uid,
                     cluster=prediction.cluster,
@@ -150,4 +167,14 @@ def evaluate_prediction_accuracy(
                     perf_rank_tau=kendall_tau(pred_f, true_f),
                 )
             )
-    return AccuracyReport(kernels=results)
+        return fold_results
+
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs == 1:
+        per_fold = [run_fold(i, b) for i, b in enumerate(benchmarks)]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            per_fold = list(
+                pool.map(run_fold, range(len(benchmarks)), benchmarks)
+            )
+    return AccuracyReport(kernels=[k for fold in per_fold for k in fold])

@@ -85,16 +85,17 @@ def experiment_fig3_tree(seed: int = 0) -> ExperimentResult:
 
 
 def experiment_table3_and_figures(
-    seed: int = 0, report: LOOCVReport | None = None
+    seed: int = 0, report: LOOCVReport | None = None, n_jobs: int = 1
 ) -> dict[str, ExperimentResult]:
     """Table III and Figures 4, 5, 6, 8, 9 from one cross-validated run.
 
     The five artifacts share the same underlying evaluation, exactly as
     in the paper, so they are produced together.  Pass a precomputed
-    ``report`` to re-render without re-running.
+    ``report`` to re-render without re-running; ``n_jobs`` is forwarded
+    to :func:`run_loocv` (results are identical for any value).
     """
     if report is None:
-        report = run_loocv(seed=seed)
+        report = run_loocv(seed=seed, n_jobs=n_jobs)
     overall = summarize(report.records)
     by_group = summarize_by_group(report.records)
 

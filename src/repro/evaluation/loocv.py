@@ -10,13 +10,26 @@ benchmarks."
 :func:`run_loocv` is the package's top-level experiment driver: it
 produces the :class:`~repro.evaluation.harness.CapEvaluation` records
 behind Table III and Figures 4-9.
+
+The driver follows the paper's profile-once economy (Section III-D):
+the suite is characterized exactly once through a shared
+:class:`~repro.profiling.store.CharacterizationStore`, and every fold
+slices its training subset (characterizations and dissimilarity
+submatrix) from the store instead of re-profiling.  Folds are
+independent and can run concurrently (``n_jobs``); results are
+deterministic for a fixed seed regardless of parallelism because every
+noise stream is spawned per fold from one :class:`numpy.random.SeedSequence`.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.model import AdaptiveModel, train_model
+import numpy as np
+
+from repro.core.model import AdaptiveModel
 from repro.core.scheduler import Scheduler
 from repro.evaluation.harness import CapEvaluation, evaluate_suite
 from repro.hardware.apu import TrinityAPU
@@ -24,9 +37,38 @@ from repro.methods.freq_limit import CpuFrequencyLimiting, GpuFrequencyLimiting
 from repro.methods.model_method import ModelMethod, ModelPlusFL
 from repro.methods.oracle import Oracle
 from repro.profiling.library import ProfilingLibrary
+from repro.profiling.store import CharacterizationStore
 from repro.workloads.suite import Suite, build_suite
 
-__all__ = ["LOOCVReport", "run_loocv"]
+__all__ = ["LOOCVReport", "LOOCVTimings", "run_loocv", "resolve_n_jobs"]
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalize an ``n_jobs`` knob: ``-1`` means one worker per CPU."""
+    if n_jobs == -1:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+@dataclass
+class LOOCVTimings:
+    """Wall-clock breakdown of one :func:`run_loocv` call.
+
+    ``profile_s`` is the exhaustive characterization cost of this call
+    (near zero when the shared store is already warm); ``train_s`` and
+    ``evaluate_s`` are summed across folds, so under ``n_jobs > 1`` they
+    can exceed ``wall_s``.
+    """
+
+    profile_s: float = 0.0
+    train_s: float = 0.0
+    evaluate_s: float = 0.0
+    wall_s: float = 0.0
+    n_jobs: int = 1
 
 
 @dataclass
@@ -39,10 +81,13 @@ class LOOCVReport:
         All (kernel, cap, method) evaluations across folds.
     fold_models:
         The model trained for each held-out benchmark.
+    timings:
+        Per-phase wall-clock breakdown of the run.
     """
 
     records: list[CapEvaluation] = field(default_factory=list)
     fold_models: dict[str, AdaptiveModel] = field(default_factory=dict)
+    timings: LOOCVTimings = field(default_factory=LOOCVTimings)
 
 
 def run_loocv(
@@ -57,6 +102,8 @@ def run_loocv(
     tree_max_depth: int = 4,
     risk_margin: float = 0.0,
     include_freq_limiting: bool = True,
+    n_jobs: int = 1,
+    store: CharacterizationStore | None = None,
 ) -> LOOCVReport:
     """Run the paper's full cross-validated method comparison.
 
@@ -66,7 +113,10 @@ def run_loocv(
         Benchmark suite (defaults to the paper's 36-kernel/65-combo
         suite).
     seed:
-        Master seed for the machine and every profiling library.
+        Master seed for the machine and every profiling stream.
+        Per-fold streams are spawned from one
+        :class:`numpy.random.SeedSequence`, so folds never share or
+        collide streams across master seeds.
     n_clusters, transform, power_anchor, composition_weight, ridge,
     tree_max_depth:
         Offline-training knobs forwarded to
@@ -77,6 +127,14 @@ def run_loocv(
     include_freq_limiting:
         Also evaluate the CPU+FL / GPU+FL baselines (they are
         model-independent, so ablation callers may skip them).
+    n_jobs:
+        Folds to evaluate concurrently (``-1`` = one per CPU).  Results
+        are identical for any value.
+    store:
+        Characterization store to draw training profiles from; defaults
+        to the process-wide shared store for ``(suite, seed)``, which
+        makes repeated calls (ablations, sweeps) profile the suite only
+        once.
 
     Returns
     -------
@@ -85,38 +143,73 @@ def run_loocv(
     suite = suite if suite is not None else build_suite()
     apu = TrinityAPU(seed=seed)
     oracle = Oracle(apu)
+    if store is None:
+        store = CharacterizationStore.shared(suite, seed=seed)
     report = LOOCVReport()
+    wall_start = time.perf_counter()
 
-    for fold_i, benchmark in enumerate(suite.benchmarks()):
+    # Profile-once: the full suite is characterized up front (a warm
+    # shared store makes this free); folds only slice from it.
+    t0 = time.perf_counter()
+    store.characterize(list(suite))
+    report.timings.profile_s = time.perf_counter() - t0
+
+    benchmarks = list(suite.benchmarks())
+    fold_streams = np.random.SeedSequence(seed).spawn(len(benchmarks))
+
+    def run_fold(fold_i: int, benchmark: str):
+        online_ss, mfl_ss, cpufl_ss, gpufl_ss = fold_streams[fold_i].spawn(4)
         train_kernels = [k for k in suite if k.benchmark != benchmark]
         test_kernels = suite.for_benchmark(benchmark)
 
-        train_library = ProfilingLibrary(apu, seed=seed * 1000 + fold_i)
-        model = train_model(
-            train_library,
-            train_kernels,
+        t0 = time.perf_counter()
+        characterizations = store.characterize(train_kernels)
+        dissimilarity = store.dissimilarity_submatrix(
+            train_kernels, composition_weight=composition_weight
+        )
+        model = AdaptiveModel.train(
+            characterizations,
             n_clusters=n_clusters,
             transform=transform,
             power_anchor=power_anchor,
             composition_weight=composition_weight,
             ridge=ridge,
             tree_max_depth=tree_max_depth,
+            dissimilarity=dissimilarity,
         )
-        report.fold_models[benchmark] = model
+        train_s = time.perf_counter() - t0
 
-        online_library = ProfilingLibrary(apu, seed=seed * 1000 + 500 + fold_i)
+        online_library = ProfilingLibrary(apu, seed=online_ss)
         scheduler = Scheduler(risk_margin=risk_margin)
         methods = [
             ModelMethod(model, online_library, scheduler=scheduler),
             ModelPlusFL(
-                model, online_library, scheduler=scheduler, seed=seed + fold_i
+                model, online_library, scheduler=scheduler, seed=mfl_ss
             ),
         ]
         if include_freq_limiting:
-            methods.append(CpuFrequencyLimiting(apu, seed=seed + fold_i))
-            methods.append(GpuFrequencyLimiting(apu, seed=seed + fold_i))
+            methods.append(CpuFrequencyLimiting(apu, seed=cpufl_ss))
+            methods.append(GpuFrequencyLimiting(apu, seed=gpufl_ss))
 
-        report.records.extend(
-            evaluate_suite(apu, oracle, methods, test_kernels)
-        )
+        t0 = time.perf_counter()
+        records = evaluate_suite(apu, oracle, methods, test_kernels)
+        evaluate_s = time.perf_counter() - t0
+        return benchmark, model, records, train_s, evaluate_s
+
+    jobs = resolve_n_jobs(n_jobs)
+    report.timings.n_jobs = jobs
+    if jobs == 1:
+        fold_results = [run_fold(i, b) for i, b in enumerate(benchmarks)]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            fold_results = list(
+                pool.map(run_fold, range(len(benchmarks)), benchmarks)
+            )
+
+    for benchmark, model, records, train_s, evaluate_s in fold_results:
+        report.fold_models[benchmark] = model
+        report.records.extend(records)
+        report.timings.train_s += train_s
+        report.timings.evaluate_s += evaluate_s
+    report.timings.wall_s = time.perf_counter() - wall_start
     return report

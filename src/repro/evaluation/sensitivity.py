@@ -9,10 +9,11 @@ new machine and for the sensitivity benchmark's end-to-end grid.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from repro.evaluation.loocv import run_loocv
+from repro.evaluation.loocv import resolve_n_jobs, run_loocv
 from repro.evaluation.metrics import summarize
 from repro.workloads.suite import Suite
 
@@ -55,6 +56,7 @@ def sweep_hyperparameter(
     *,
     suite: Suite | None = None,
     seed: int = 0,
+    n_jobs: int = 1,
     **fixed: Any,
 ) -> list[SensitivityPoint]:
     """Evaluate the Model method at each value of one training knob.
@@ -67,6 +69,11 @@ def sweep_hyperparameter(
         ``tree_max_depth``, ``risk_margin``).
     values:
         The settings to evaluate.
+    n_jobs:
+        Sweep variants to evaluate concurrently (``-1`` = one per CPU).
+        Every variant draws its training profiles from the same shared
+        characterization store, so parallel variants do not repeat the
+        exhaustive sweep; results are identical for any ``n_jobs``.
     fixed:
         Other knobs held constant across the sweep.
     """
@@ -82,23 +89,25 @@ def sweep_hyperparameter(
     if parameter in fixed:
         raise ValueError(f"{parameter!r} is both swept and fixed")
 
-    points = []
-    for value in values:
+    def run_point(value: Any) -> SensitivityPoint:
         kwargs = dict(fixed)
         kwargs[parameter] = value
         report = run_loocv(
             suite, seed=seed, include_freq_limiting=False, **kwargs
         )
         summary = summarize(report.records, method="Model")[0]
-        points.append(
-            SensitivityPoint(
-                parameter=parameter,
-                value=value,
-                pct_under_limit=summary.pct_under_limit,
-                under_perf_pct=summary.under_perf_pct,
-            )
+        return SensitivityPoint(
+            parameter=parameter,
+            value=value,
+            pct_under_limit=summary.pct_under_limit,
+            under_perf_pct=summary.under_perf_pct,
         )
-    return points
+
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs == 1:
+        return [run_point(v) for v in values]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_point, values))
 
 
 def render_sweep(points: Sequence[SensitivityPoint], title: str = "") -> str:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.hardware import pstates
@@ -77,7 +78,12 @@ class Configuration:
 
     # -- convenient constructors -------------------------------------------
 
+    # Instances are immutable, so the factories memoize: the valid space
+    # has only 42 points and hot paths (the frequency limiter, scheduler
+    # fallbacks) rebuild the same configurations constantly.
+
     @staticmethod
+    @lru_cache(maxsize=None)
     def cpu(freq_ghz: float, n_threads: int) -> "Configuration":
         """A CPU configuration (GPU idling at minimum frequency)."""
         return Configuration(
@@ -88,6 +94,7 @@ class Configuration:
         )
 
     @staticmethod
+    @lru_cache(maxsize=None)
     def gpu(gpu_freq_ghz: float, host_cpu_freq_ghz: float) -> "Configuration":
         """A GPU configuration with one host thread at the given P-state."""
         return Configuration(

@@ -37,7 +37,12 @@ from repro.hardware.kernelmodel import (
 )
 from repro.hardware.power import PowerModelConstants, power_w
 
-__all__ = ["HybridPoint", "hybrid_execution"]
+__all__ = [
+    "HybridPoint",
+    "hybrid_execution",
+    "enumerate_hybrid_points",
+    "best_hybrid_under_cap",
+]
 
 
 @dataclass(frozen=True)
@@ -119,7 +124,7 @@ def hybrid_execution(
     # more on that plane.
     pb_cpu = power_w(k, cpu_cfg, c)
     pb_gpu = power_w(k, gpu_cfg, c)
-    gpu_increment = pb_gpu.nbgpu_plane_w - power_w(k, cpu_cfg, c).nbgpu_plane_w
+    gpu_increment = pb_gpu.nbgpu_plane_w - pb_cpu.nbgpu_plane_w
     total_power = pb_cpu.total_w + max(gpu_increment, 0.0)
 
     return HybridPoint(
@@ -131,25 +136,51 @@ def hybrid_execution(
     )
 
 
+def enumerate_hybrid_points(
+    k: KernelCharacteristics,
+    *,
+    efficiency: float = 1.0,
+    constants: PowerModelConstants | None = None,
+) -> list[HybridPoint]:
+    """Every hybrid operating point for kernel ``k`` (the full CPU
+    frequency x thread count x GPU frequency cross product).
+
+    The set is independent of any power cap, so callers comparing one
+    kernel against many caps should enumerate once and reuse (see
+    :func:`best_hybrid_under_cap`'s ``points`` parameter).
+    """
+    return [
+        hybrid_execution(k, f, n, g, efficiency=efficiency, constants=constants)
+        for f in pstates.CPU_FREQS_GHZ
+        for n in range(1, pstates.N_CORES + 1)
+        for g in pstates.GPU_FREQS_GHZ
+    ]
+
+
 def best_hybrid_under_cap(
     k: KernelCharacteristics,
     power_cap_w: float,
     *,
     efficiency: float = 1.0,
     constants: PowerModelConstants | None = None,
+    points: list[HybridPoint] | None = None,
 ) -> HybridPoint | None:
     """The best hybrid operating point whose power respects the cap, or
     ``None`` when no hybrid point fits (hybrid runs both devices, so its
-    power floor is high)."""
+    power floor is high).
+
+    ``points`` short-circuits the sweep with a precomputed enumeration
+    (from :func:`enumerate_hybrid_points` with the same kernel,
+    efficiency, and constants).
+    """
+    if points is None:
+        points = enumerate_hybrid_points(
+            k, efficiency=efficiency, constants=constants
+        )
     best: HybridPoint | None = None
-    for f in pstates.CPU_FREQS_GHZ:
-        for n in range(1, pstates.N_CORES + 1):
-            for g in pstates.GPU_FREQS_GHZ:
-                point = hybrid_execution(
-                    k, f, n, g, efficiency=efficiency, constants=constants
-                )
-                if point.power_w > power_cap_w:
-                    continue
-                if best is None or point.performance > best.performance:
-                    best = point
+    for point in points:
+        if point.power_w > power_cap_w:
+            continue
+        if best is None or point.performance > best.performance:
+            best = point
     return best

@@ -67,8 +67,17 @@ class NoiseModel:
     def perturb_counters(
         self, counters: dict[str, float], rng: np.random.Generator
     ) -> dict[str, float]:
-        """Noisy observation of a counter-metric dict (order-stable)."""
+        """Noisy observation of a counter-metric dict (order-stable).
+
+        One vectorized draw per dict; ``Generator`` produces the same
+        stream for ``lognormal(size=n)`` as for ``n`` scalar draws, so
+        this is bit-identical to perturbing each counter in turn.
+        """
+        rel = self.counter_rel
+        if rel == 0.0:
+            return dict(counters)
+        factors = rng.lognormal(mean=-0.5 * rel * rel, sigma=rel, size=len(counters))
         return {
-            name: self._scale(v, self.counter_rel, rng)
-            for name, v in counters.items()
+            name: float(v * f)
+            for (name, v), f in zip(counters.items(), factors)
         }

@@ -19,8 +19,6 @@ paper's measurements (Table I), which the calibration tests in
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = [
     "CPU_FREQS_GHZ",
     "CPU_MAX_FREQ_GHZ",
@@ -70,27 +68,39 @@ def gpu_voltage(freq_ghz: float) -> float:
     return _GPU_V0 + _GPU_V1 * freq_ghz
 
 
+# Exact-value index tables: the hot path (every Configuration build and
+# power evaluation validates its frequency) hits these dicts; the
+# tolerance scan below only runs for values that are not bit-identical
+# to a table entry.
+_CPU_INDEX: dict[float, int] = {f: i for i, f in enumerate(CPU_FREQS_GHZ)}
+_GPU_INDEX: dict[float, int] = {f: i for i, f in enumerate(GPU_FREQS_GHZ)}
+
+
+def _lookup(
+    freq_ghz: float, table: dict[float, int], freqs: tuple[float, ...], kind: str
+) -> int:
+    idx = table.get(freq_ghz)
+    if idx is not None:
+        return idx
+    for i, f in enumerate(freqs):
+        if abs(freq_ghz - f) < 1e-9:
+            return i
+    raise ValueError(f"{freq_ghz} GHz is not a {kind} P-state; valid: {freqs}")
+
+
 def cpu_pstate_index(freq_ghz: float) -> int:
     """Index of a CPU frequency in :data:`CPU_FREQS_GHZ` (0 = slowest)."""
-    _require_cpu_freq(freq_ghz)
-    return int(np.argmin(np.abs(np.asarray(CPU_FREQS_GHZ) - freq_ghz)))
+    return _lookup(freq_ghz, _CPU_INDEX, CPU_FREQS_GHZ, "CPU")
 
 
 def gpu_pstate_index(freq_ghz: float) -> int:
     """Index of a GPU frequency in :data:`GPU_FREQS_GHZ` (0 = slowest)."""
-    _require_gpu_freq(freq_ghz)
-    return int(np.argmin(np.abs(np.asarray(GPU_FREQS_GHZ) - freq_ghz)))
+    return _lookup(freq_ghz, _GPU_INDEX, GPU_FREQS_GHZ, "GPU")
 
 
 def _require_cpu_freq(freq_ghz: float) -> None:
-    if not any(abs(freq_ghz - f) < 1e-9 for f in CPU_FREQS_GHZ):
-        raise ValueError(
-            f"{freq_ghz} GHz is not a CPU P-state; valid: {CPU_FREQS_GHZ}"
-        )
+    _lookup(freq_ghz, _CPU_INDEX, CPU_FREQS_GHZ, "CPU")
 
 
 def _require_gpu_freq(freq_ghz: float) -> None:
-    if not any(abs(freq_ghz - f) < 1e-9 for f in GPU_FREQS_GHZ):
-        raise ValueError(
-            f"{freq_ghz} GHz is not a GPU P-state; valid: {GPU_FREQS_GHZ}"
-        )
+    _lookup(freq_ghz, _GPU_INDEX, GPU_FREQS_GHZ, "GPU")

@@ -33,7 +33,7 @@ class CpuFrequencyLimiting(PowerLimitMethod):
 
     name = "CPU+FL"
 
-    def __init__(self, apu: TrinityAPU, *, seed: int = 0) -> None:
+    def __init__(self, apu: TrinityAPU, *, seed: int | np.random.SeedSequence = 0) -> None:
         self.limiter = FrequencyLimiter(apu)
         self._rng = np.random.default_rng(seed)
 
@@ -52,7 +52,7 @@ class GpuFrequencyLimiting(PowerLimitMethod):
 
     name = "GPU+FL"
 
-    def __init__(self, apu: TrinityAPU, *, seed: int = 0) -> None:
+    def __init__(self, apu: TrinityAPU, *, seed: int | np.random.SeedSequence = 0) -> None:
         self.limiter = FrequencyLimiter(apu)
         self._rng = np.random.default_rng(seed)
 

@@ -87,7 +87,7 @@ class ModelPlusFL(PowerLimitMethod):
         library: ProfilingLibrary,
         *,
         scheduler: Scheduler | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> None:
         self._model_method = ModelMethod(model, library, scheduler=scheduler)
         self.limiter = FrequencyLimiter(library.apu)

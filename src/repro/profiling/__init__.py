@@ -4,8 +4,10 @@ Reproduces the paper's integrated profiling library (Section III-D):
 1 kHz on-chip power sampling with trapezoidal energy integration
 (:mod:`~repro.profiling.sampler`), per-kernel profile records and a
 runtime-accessible measurement history (:mod:`~repro.profiling.records`),
-the instrumentation layer itself (:mod:`~repro.profiling.library`), and
-on-disk persistence (:mod:`~repro.profiling.io`).
+the instrumentation layer itself (:mod:`~repro.profiling.library`), the
+profile-once shared characterization store
+(:mod:`~repro.profiling.store`), and on-disk persistence
+(:mod:`~repro.profiling.io`).
 """
 
 from repro.profiling.io import (
@@ -17,14 +19,17 @@ from repro.profiling.io import (
 from repro.profiling.library import COUNTER_READ_OVERHEAD_S, ProfilingLibrary
 from repro.profiling.records import KernelProfile, ProfileDatabase
 from repro.profiling.sampler import PowerSampler, SampledPower
+from repro.profiling.store import CharacterizationStore, suite_fingerprint
 
 __all__ = [
     "COUNTER_READ_OVERHEAD_S",
+    "CharacterizationStore",
     "KernelProfile",
     "PowerSampler",
     "ProfileDatabase",
     "ProfilingLibrary",
     "SampledPower",
+    "suite_fingerprint",
     "database_from_json",
     "database_to_json",
     "load_database",

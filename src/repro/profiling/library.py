@@ -15,9 +15,20 @@ Everything downstream — Pareto frontiers, clustering, regression, the
 classification tree — consumes only what this library records, exactly
 as the paper's pipeline consumes only PAPI counters and integrated
 power estimates.
+
+Measurement noise is drawn from *counter-based* streams: every profiled
+execution gets its own generator derived from the library seed and the
+``(kernel uid, configuration, repetition)`` identity of the run.  Two
+libraries with equal seeds therefore produce identical profiles for the
+same run regardless of the order in which runs are requested — the
+property that lets :class:`repro.profiling.store.CharacterizationStore`
+characterize the suite once and share the profiles across every
+cross-validation fold and ablation variant.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -33,6 +44,15 @@ __all__ = ["ProfilingLibrary"]
 COUNTER_READ_OVERHEAD_S: float = 50e-6
 
 
+def _run_key(kernel_uid: str, config: Configuration, repetition: int) -> list[int]:
+    """Stable 128-bit entropy words identifying one profiled run."""
+    ident = f"{kernel_uid}\x1f{config.label()}\x1f{repetition}".encode()
+    digest = hashlib.sha256(ident).digest()
+    return [
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    ]
+
+
 class ProfilingLibrary:
     """Instrumented kernel execution with power sampling and history.
 
@@ -43,9 +63,12 @@ class ProfilingLibrary:
     sampler:
         Power sampling model (defaults to the paper's 1 kHz).
     seed:
-        Seed of the library's measurement-noise stream.  Two libraries
-        with equal seeds produce identical profiles for identical call
-        sequences.
+        Seed of the library's measurement-noise streams; also accepts a
+        :class:`numpy.random.SeedSequence` (e.g. one spawned per
+        cross-validation fold).  Noise is keyed per
+        ``(kernel, configuration, repetition)``, so two libraries with
+        equal seeds produce identical profiles for the same runs in any
+        order.
     """
 
     def __init__(
@@ -53,12 +76,30 @@ class ProfilingLibrary:
         apu: TrinityAPU,
         *,
         sampler: PowerSampler | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> None:
         self.apu = apu
         self.sampler = sampler if sampler is not None else PowerSampler()
         self.database = ProfileDatabase()
-        self._rng = np.random.default_rng(seed)
+        seed_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        # Base entropy words; combined with each run's identity key to
+        # derive that run's private noise stream.
+        self._base_entropy = [int(w) for w in seed_seq.generate_state(4)]
+        # Per-(kernel, configuration) repetition counters: re-profiling
+        # the same run draws fresh noise, while first-time profiles are
+        # independent of the order other runs were requested in.
+        self._rep_counts: dict[tuple[str, Configuration], int] = {}
+
+    def _run_rng(
+        self, kernel_uid: str, config: Configuration, repetition: int
+    ) -> np.random.Generator:
+        """The counter-based noise stream of one profiled execution."""
+        entropy = self._base_entropy + _run_key(kernel_uid, config, repetition)
+        return np.random.default_rng(np.random.SeedSequence(entropy))
 
     def profile(
         self,
@@ -80,24 +121,27 @@ class ProfilingLibrary:
                 "kernel has no uid; pass kernel_uid= for raw characteristics"
             )
 
+        repetition = self._rep_counts.get((uid, config), 0)
+        self._rep_counts[(uid, config)] = repetition + 1
+        rng = self._run_rng(uid, config, repetition)
         true_t = self.apu.true_time_s(kernel, config)
         true_pb = self.apu.true_power(kernel, config)
 
         # Integrate each power plane from its own sampled trace.
-        cpu_sp = self.sampler.sample(true_pb.cpu_plane_w, true_t, self._rng)
-        nbgpu_sp = self.sampler.sample(true_pb.nbgpu_plane_w, true_t, self._rng)
+        cpu_sp = self.sampler.sample(true_pb.cpu_plane_w, true_t, rng)
+        nbgpu_sp = self.sampler.sample(true_pb.nbgpu_plane_w, true_t, rng)
         sampling_overhead = cpu_sp.overhead_s + COUNTER_READ_OVERHEAD_S
 
         # Timing measurement includes instrumentation overhead plus the
         # machine's run-to-run noise.
-        noisy_t = self.apu.noise.perturb_time(true_t, self._rng)
+        noisy_t = self.apu.noise.perturb_time(true_t, rng)
         measured_t = noisy_t + sampling_overhead
 
         chars = kernel if not hasattr(kernel, "characteristics") else (
             kernel.characteristics
         )
         counters = self.apu.noise.perturb_counters(
-            synthesize_counters(chars, config), self._rng
+            synthesize_counters(chars, config), rng
         )
         measurement = Measurement(
             config=config,

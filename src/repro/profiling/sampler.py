@@ -20,6 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+try:  # vectorized AR(1) recurrence; pure-numpy fallback below
+    from scipy.signal import lfilter as _lfilter
+except ImportError:  # pragma: no cover - scipy is a hard dependency
+    _lfilter = None
+
 __all__ = ["PowerSampler", "SampledPower"]
 
 
@@ -108,8 +113,18 @@ class PowerSampler:
         fluct = np.empty(n)
         fluct[0] = rng.normal(scale=self.fluctuation_rel)
         innovations = rng.normal(scale=innov_std, size=n - 1)
-        for i in range(1, n):
-            fluct[i] = self.ar_coeff * fluct[i - 1] + innovations[i - 1]
+        if _lfilter is not None:
+            # fluct[i] = ar * fluct[i-1] + innovations[i-1] as an IIR
+            # filter, seeded so y[0] = innovations[0] + ar * fluct[0].
+            fluct[1:] = _lfilter(
+                [1.0],
+                [1.0, -self.ar_coeff],
+                innovations,
+                zi=np.array([self.ar_coeff * fluct[0]]),
+            )[0]
+        else:  # pragma: no cover - exercised only without scipy
+            for i in range(1, n):
+                fluct[i] = self.ar_coeff * fluct[i - 1] + innovations[i - 1]
         trace = true_mean_w * (1.0 + fluct)
         trace *= 1.0 + rng.normal(scale=self.sample_noise_rel, size=n)
         trace = np.maximum(trace, 0.0)

@@ -84,21 +84,17 @@ def _assign(D: np.ndarray, medoids: np.ndarray) -> tuple[np.ndarray, float]:
 
 def _build(D: np.ndarray, k: int) -> list[int]:
     """BUILD phase: greedy deterministic seeding."""
-    n = D.shape[0]
     # First medoid: point minimizing total dissimilarity to all others.
     first = int(np.argmin(D.sum(axis=1)))
     medoids = [first]
     nearest = D[:, first].copy()  # distance to nearest chosen medoid
     while len(medoids) < k:
-        best_gain, best_j = -np.inf, -1
-        chosen = set(medoids)
-        for j in range(n):
-            if j in chosen:
-                continue
-            # Gain: total reduction in nearest-medoid distance if j added.
-            gain = float(np.sum(np.maximum(nearest - D[:, j], 0.0)))
-            if gain > best_gain:
-                best_gain, best_j = gain, j
+        # Gain per candidate: total reduction in nearest-medoid distance
+        # if that point were added.  Chosen medoids gain exactly zero and
+        # are masked out; ties break to the lowest candidate index.
+        gains = np.maximum(nearest[:, None] - D, 0.0).sum(axis=0)
+        gains[medoids] = -np.inf
+        best_j = int(np.argmax(gains))
         medoids.append(best_j)
         nearest = np.minimum(nearest, D[:, best_j])
     return medoids
@@ -136,21 +132,31 @@ def pam(
 
     n_iter = 0
     for n_iter in range(1, max_iter + 1):
-        best_delta, best_swap = -1e-12, None
-        medoid_set = set(medoids.tolist())
-        for mi, m in enumerate(medoids):
-            for h in range(n):
-                if h in medoid_set:
-                    continue
-                trial = medoids.copy()
-                trial[mi] = h
-                _, trial_cost = _assign(D, trial)
-                delta = cost - trial_cost
-                if delta > best_delta:
-                    best_delta, best_swap = delta, (mi, h)
-        if best_swap is None:
+        # Evaluate every (medoid mi, candidate h) exchange at once.
+        # Removing medoid mi leaves each point with its nearest remaining
+        # medoid — d1 if mi was not its owner, else d2 (second nearest) —
+        # and adding h offers D[:, h]; the trial cost is the sum of the
+        # elementwise minimum.  With k == 1, d2 is +inf so the candidate
+        # column alone decides.
+        sub = D[:, medoids]  # (n, k)
+        owner = np.argmin(sub, axis=1)
+        d1 = sub[np.arange(n), owner]
+        if medoids.shape[0] > 1:
+            d2 = np.partition(sub, 1, axis=1)[:, 1]
+        else:
+            d2 = np.full(n, np.inf)
+        # base[mi, i]: distance to nearest medoid once mi is removed.
+        base = np.where(owner[None, :] == np.arange(medoids.shape[0])[:, None], d2, d1)
+        trial_costs = np.minimum(base[:, :, None], D[None, :, :]).sum(axis=1)  # (k, n)
+        deltas = cost - trial_costs
+        deltas[:, medoids] = -np.inf  # existing medoids are not candidates
+        flat = int(np.argmax(deltas))  # ties break to first (mi, h) in order
+        if deltas.flat[flat] <= 1e-12:
+            # No strictly-improving swap: local optimum.  (A looser
+            # threshold would accept zero-delta swaps and cycle through
+            # equal-cost medoid sets until max_iter.)
             break
-        mi, h = best_swap
+        mi, h = divmod(flat, n)
         medoids[mi] = h
         labels, cost = _assign(D, medoids)
     return KMedoidsResult(medoids=medoids, labels=labels, cost=cost, n_iter=n_iter)

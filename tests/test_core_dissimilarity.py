@@ -72,6 +72,54 @@ def test_dissimilarity_symmetric_and_bounded():
     np.testing.assert_allclose(np.diag(D), 0.0)
 
 
+def test_vectorized_matrix_matches_scalar_pairwise():
+    """The all-pairs matrix equals the scalar frontier_dissimilarity
+    applied pair by pair, at every composition weight."""
+    apu = TrinityAPU(noise=NoiseModel.exact())
+    suite = list(build_suite())[:12]
+    frontiers = {
+        k.uid: ParetoFrontier.from_measurements(apu.run_all_configs(k))
+        for k in suite
+    }
+    uids = list(frontiers)
+    for w in (0.0, 0.25, 0.5, 1.0):
+        D = dissimilarity_matrix(frontiers, composition_weight=w)
+        for i, a in enumerate(uids):
+            for j, b in enumerate(uids):
+                expected = frontier_dissimilarity(
+                    frontiers[a], frontiers[b], composition_weight=w
+                )
+                assert D[i, j] == pytest.approx(expected, abs=1e-12)
+
+
+def test_dissimilarity_cache_submatrix_slices():
+    from repro.core import DissimilarityCache
+
+    apu = TrinityAPU(noise=NoiseModel.exact())
+    suite = list(build_suite())[:10]
+    frontiers = {
+        k.uid: ParetoFrontier.from_measurements(apu.run_all_configs(k))
+        for k in suite
+    }
+    cache = DissimilarityCache()
+    for uid, f in frontiers.items():
+        cache.add(uid, f)
+    uids = list(frontiers)
+    full = dissimilarity_matrix(frontiers, composition_weight=0.5)
+    np.testing.assert_allclose(
+        cache.submatrix(uids, composition_weight=0.5), full, atol=1e-12
+    )
+    subset = [uids[7], uids[2], uids[5]]
+    idx = [uids.index(u) for u in subset]
+    np.testing.assert_allclose(
+        cache.submatrix(subset, composition_weight=0.5),
+        full[np.ix_(idx, idx)],
+        atol=1e-12,
+    )
+    with pytest.raises(KeyError):
+        cache.submatrix(["unregistered/kernel"])
+
+
 def test_dissimilarity_matrix_empty_rejected():
     with pytest.raises(ValueError):
         dissimilarity_matrix([])
