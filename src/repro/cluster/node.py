@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.model import AdaptiveModel
 from repro.core.predictor import KernelPrediction
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
@@ -180,41 +182,48 @@ class ClusterNode:
         node cannot honour it (every kernel must run somewhere,
         Section III-A).  Consequently every frontier point satisfies
         ``expected_power_w <= cap_w``.
+
+        The whole sweep is array arithmetic: each kernel's predicted
+        frontier is built once, every candidate cap resolves against it
+        with one vectorized binary search, and the per-cap time/energy
+        totals accumulate kernel-by-kernel over the cap axis.
         """
         predictions = self.predictions()
         floor = max(
-            min(pw for pw, _ in pred.predictions.values())
-            for pred in predictions.values()
+            float(pred.power_array.min()) for pred in predictions.values()
         )
         # Round candidate caps *up*: rounding down could land a cap
         # between the floor and the power level that generated it,
         # making the floor kernel infeasible at its own candidate.
-        candidate_caps = sorted(
-            {
-                math.ceil(pw * 1e6) / 1e6
-                for pred in predictions.values()
-                for pw, _ in pred.predictions.values()
-                if pw >= floor - 1e-9
-            }
-        )
-        points = []
-        for cap in candidate_caps:
-            total_time = 0.0
-            total_energy = 0.0
-            for pred in predictions.values():
-                best = pred.predicted_frontier().best_under_cap(cap)
-                if best is None:
-                    best = pred.predicted_frontier()[0]
-                t = 1.0 / best.performance
-                total_time += t
-                total_energy += best.power_w * t
-            points.append(
-                NodeFrontierPoint(
-                    cap_w=cap,
-                    expected_power_w=total_energy / total_time,
-                    rate=1.0 / total_time,
-                )
+        caps = np.array(
+            sorted(
+                {
+                    math.ceil(float(pw) * 1e6) / 1e6
+                    for pred in predictions.values()
+                    for pw in pred.power_array
+                    if pw >= floor - 1e-9
+                }
             )
+        )
+        total_time = np.zeros(caps.size)
+        total_energy = np.zeros(caps.size)
+        for pred in predictions.values():
+            frontier = pred.predicted_frontier()
+            # Best feasible frontier point per cap; infeasible caps fall
+            # back to the lowest-power point (index 0), matching
+            # ``best_under_cap(...) or frontier[0]``.
+            idx = np.maximum(frontier.indices_under_caps(caps), 0)
+            t = 1.0 / frontier.performances[idx]
+            total_time += t
+            total_energy += frontier.powers[idx] * t
+        points = [
+            NodeFrontierPoint(
+                cap_w=float(cap),
+                expected_power_w=float(e / t),
+                rate=float(1.0 / t),
+            )
+            for cap, t, e in zip(caps, total_time, total_energy)
+        ]
         return NodeFrontier(points)
 
     # -- execution --------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.core.classifier import (
     ClusterClassifier,
     sample_features,
 )
+from repro.core.configspace import ConfigTable
 from repro.core.clustering import (
     DEFAULT_N_CLUSTERS,
     ClusteringResult,
@@ -53,6 +54,7 @@ __all__ = [
     "ClusterClassifier",
     "ClusterModels",
     "ClusteringResult",
+    "ConfigTable",
     "DEFAULT_N_CLUSTERS",
     "DeviceModels",
     "DissimilarityCache",

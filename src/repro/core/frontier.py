@@ -13,13 +13,24 @@ Small's.  Frontiers are consumed three ways:
   because frontier points dominate them;
 * scheduling — a (predicted) frontier answers "best configuration under
   this power cap" in one binary search.
+
+Construction is array-shaped: candidates are stable-lexsorted by
+(power, -performance) and swept with a running performance maximum —
+O(n log n) with the Python loop replaced by :func:`numpy.maximum.
+accumulate`.  The kept points' power levels are strictly increasing, so
+``best_under_cap``/``dominates`` bisect the stored power array, and a
+whole cap sweep is one :func:`numpy.searchsorted` call over
+:attr:`ParetoFrontier.powers`.  :class:`FrontierPoint` objects are
+materialized lazily — hot paths (scheduling, node-frontier assembly)
+read the arrays and never build them.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.hardware.apu import Measurement
 from repro.hardware.config import Configuration
@@ -47,101 +58,187 @@ class ParetoFrontier:
 
     Points are stored sorted by ascending power; along the frontier
     performance is strictly increasing (a point matching another's
-    performance at higher power is dominated and removed).
+    performance at higher power is dominated and removed).  Power levels
+    are therefore strictly increasing too, which is what lets every
+    query bisect.
     """
 
+    __slots__ = ("_cfgs", "_powers", "_perfs", "_points")
+
     def __init__(self, points: Iterable[FrontierPoint]) -> None:
-        candidates = sorted(points, key=lambda p: (p.power_w, -p.performance))
-        if not candidates:
+        pts = list(points)
+        self._init_from_arrays(
+            [p.config for p in pts],
+            np.array([p.power_w for p in pts], dtype=np.float64),
+            np.array([p.performance for p in pts], dtype=np.float64),
+            validate=False,  # FrontierPoint already validated positivity
+        )
+
+    def _init_from_arrays(
+        self,
+        configs: Sequence[Configuration],
+        powers: np.ndarray,
+        perfs: np.ndarray,
+        *,
+        validate: bool,
+    ) -> None:
+        n = len(configs)
+        if n == 0:
             raise ValueError("frontier needs at least one point")
-        frontier: list[FrontierPoint] = []
-        best_perf = 0.0
-        for p in candidates:
-            if p.performance > best_perf:
-                frontier.append(p)
-                best_perf = p.performance
-        self._points: tuple[FrontierPoint, ...] = tuple(frontier)
-        self._powers: list[float] = [p.power_w for p in frontier]
+        if powers.shape != (n,) or perfs.shape != (n,):
+            raise ValueError("powers/performances must match configs in length")
+        if validate:
+            if np.any(powers <= 0):
+                bad = float(powers[powers <= 0][0])
+                raise ValueError(f"power_w={bad} must be positive")
+            if np.any(perfs <= 0):
+                bad = float(perfs[perfs <= 0][0])
+                raise ValueError(f"performance={bad} must be positive")
+        # Stable sort by (power, -performance): identical ordering to
+        # sorted(points, key=lambda p: (p.power_w, -p.performance)).
+        order = np.lexsort((-perfs, powers))
+        powers = powers[order]
+        perfs = perfs[order]
+        # Keep a point iff its performance strictly exceeds every
+        # lower-power point's — the classic running-max sweep.
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        if n > 1:
+            keep[1:] = perfs[1:] > np.maximum.accumulate(perfs)[:-1]
+        kept = np.flatnonzero(keep)
+        self._cfgs: tuple[Configuration, ...] = tuple(
+            configs[order[i]] for i in kept
+        )
+        self._powers: np.ndarray = powers[kept]
+        self._perfs: np.ndarray = perfs[kept]
+        self._points: tuple[FrontierPoint, ...] | None = None
 
     # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        configs: Sequence[Configuration],
+        powers: np.ndarray,
+        perfs: np.ndarray,
+    ) -> "ParetoFrontier":
+        """Derive a frontier from parallel arrays without materializing
+        :class:`FrontierPoint` objects (the prediction hot path)."""
+        self = cls.__new__(cls)
+        self._init_from_arrays(
+            configs,
+            np.asarray(powers, dtype=np.float64),
+            np.asarray(perfs, dtype=np.float64),
+            validate=True,
+        )
+        return self
 
     @staticmethod
     def from_measurements(measurements: Sequence[Measurement]) -> "ParetoFrontier":
         """Derive a frontier from measured executions of one kernel."""
-        return ParetoFrontier(
-            FrontierPoint(
-                config=m.config,
-                power_w=m.total_power_w,
-                performance=m.performance,
-            )
-            for m in measurements
+        return ParetoFrontier.from_arrays(
+            [m.config for m in measurements],
+            np.array([m.total_power_w for m in measurements], dtype=np.float64),
+            np.array([m.performance for m in measurements], dtype=np.float64),
         )
 
     @staticmethod
     def from_predictions(
-        predictions: dict[Configuration, tuple[float, float]],
+        predictions: Mapping[Configuration, tuple[float, float]],
     ) -> "ParetoFrontier":
         """Derive a frontier from ``{config: (power_w, performance)}``."""
-        return ParetoFrontier(
-            FrontierPoint(config=cfg, power_w=pw, performance=perf)
-            for cfg, (pw, perf) in predictions.items()
+        cfgs = list(predictions)
+        pairs = list(predictions.values())
+        return ParetoFrontier.from_arrays(
+            cfgs,
+            np.array([pw for pw, _ in pairs], dtype=np.float64),
+            np.array([perf for _, perf in pairs], dtype=np.float64),
         )
 
     # -- container protocol -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._cfgs)
 
     def __iter__(self) -> Iterator[FrontierPoint]:
-        return iter(self._points)
+        return iter(self.points)
 
     def __getitem__(self, i: int) -> FrontierPoint:
-        return self._points[i]
+        return self.points[i]
 
     @property
     def points(self) -> tuple[FrontierPoint, ...]:
-        """Frontier points, ascending in power."""
+        """Frontier points, ascending in power (materialized lazily)."""
+        if self._points is None:
+            self._points = tuple(
+                FrontierPoint(config=c, power_w=float(pw), performance=float(pf))
+                for c, pw, pf in zip(self._cfgs, self._powers, self._perfs)
+            )
         return self._points
 
     def configs(self) -> list[Configuration]:
         """Frontier configurations, in ascending-power order — the
         ordering the clustering stage compares across kernels."""
-        return [p.config for p in self._points]
+        return list(self._cfgs)
+
+    # -- array views -------------------------------------------------------------
+
+    @property
+    def powers(self) -> np.ndarray:
+        """Frontier power levels (watts), strictly increasing."""
+        return self._powers
+
+    @property
+    def performances(self) -> np.ndarray:
+        """Frontier performance values, strictly increasing."""
+        return self._perfs
 
     # -- queries ----------------------------------------------------------------
 
     @property
     def max_performance(self) -> float:
         """The frontier's best performance (its top point)."""
-        return self._points[-1].performance
+        return float(self._perfs[-1])
 
     @property
     def min_power_w(self) -> float:
         """The frontier's lowest power (its bottom point)."""
-        return self._points[0].power_w
+        return float(self._powers[0])
 
     def best_under_cap(self, power_cap_w: float) -> FrontierPoint | None:
         """Highest-performance frontier point with power <= the cap, or
         ``None`` if even the lowest-power point exceeds it."""
-        i = bisect.bisect_right(self._powers, power_cap_w)
+        i = int(np.searchsorted(self._powers, power_cap_w, side="right"))
         if i == 0:
             return None
-        return self._points[i - 1]
+        return self.points[i - 1]
+
+    def indices_under_caps(self, caps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`best_under_cap` over a cap sweep: the index
+        of the best feasible point per cap, or ``-1`` where even the
+        lowest-power point exceeds the cap."""
+        return (
+            np.searchsorted(self._powers, np.asarray(caps), side="right") - 1
+        )
 
     def normalized(self) -> list[tuple[Configuration, float, float]]:
         """Frontier as (config, power_w, performance / max performance),
         the presentation of the paper's Table I."""
         top = self.max_performance
-        return [(p.config, p.power_w, p.performance / top) for p in self._points]
+        return [
+            (c, float(pw), float(pf) / top)
+            for c, pw, pf in zip(self._cfgs, self._powers, self._perfs)
+        ]
 
     def dominates(self, power_w: float, performance: float) -> bool:
         """Whether some frontier point weakly dominates the given point
         (no more power, at least the performance, better in one)."""
-        for p in self._points:
-            if p.power_w > power_w:
-                break
-            if p.performance >= performance and (
-                p.power_w < power_w or p.performance > performance
-            ):
-                return True
-        return False
+        # Bisect to the last frontier point with power <= power_w; since
+        # performance is strictly increasing it is the only candidate:
+        # any earlier point has strictly less performance than it.
+        i = int(np.searchsorted(self._powers, power_w, side="right"))
+        if i == 0:
+            return False
+        pw = self._powers[i - 1]
+        pf = self._perfs[i - 1]
+        return pf > performance or (pf == performance and pw < power_w)

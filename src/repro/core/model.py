@@ -31,12 +31,12 @@ from repro.core.characterization import (
     characterize_kernel,
 )
 from repro.core.classifier import ClusterClassifier
+from repro.core.configspace import ConfigTable
 from repro.core.clustering import (
     DEFAULT_N_CLUSTERS,
     ClusteringResult,
     cluster_kernels,
 )
-from repro.core.features import design_row, power_design_row
 from repro.core.predictor import KernelPrediction
 from repro.core.regression import ClusterModels, Transform, fit_cluster_models
 from repro.hardware.apu import Measurement
@@ -70,25 +70,17 @@ class AdaptiveModel:
     config_space: ConfigSpace
 
     def __post_init__(self) -> None:
-        # Precompute per-device design matrices over the configuration
-        # space so the online stage is two matrix-vector products
-        # (paper Section IV-C's overhead argument).
-        cpu = self.config_space.cpu_configs()
-        gpu = self.config_space.gpu_configs()
-        object.__setattr__(self, "_cpu_configs", cpu)
-        object.__setattr__(self, "_gpu_configs", gpu)
-        object.__setattr__(
-            self, "_X_perf_cpu", np.vstack([design_row(c) for c in cpu])
-        )
-        object.__setattr__(
-            self, "_X_perf_gpu", np.vstack([design_row(c) for c in gpu])
-        )
-        object.__setattr__(
-            self, "_X_power_cpu", np.vstack([power_design_row(c) for c in cpu])
-        )
-        object.__setattr__(
-            self, "_X_power_gpu", np.vstack([power_design_row(c) for c in gpu])
-        )
+        # Attach the process-wide configuration table: the design
+        # matrices over the configuration space exist before the first
+        # kernel arrives, so the online stage is two matrix-vector
+        # products (paper Section IV-C's overhead argument) — and every
+        # model over the same space shares one table.
+        object.__setattr__(self, "_table", ConfigTable.for_space(self.config_space))
+
+    @property
+    def table(self) -> ConfigTable:
+        """The shared structure-of-arrays view of the model's space."""
+        return self._table
 
     @staticmethod
     def train(
@@ -176,61 +168,54 @@ class AdaptiveModel:
         """
         cluster = self.classifier.predict(cpu_sample, gpu_sample)
         models = self.cluster_models[cluster]
-        cpu_power = models.cpu.predict_power_from_matrix(
-            self._X_power_cpu, cpu_sample.total_power_w
+        table = self._table
+        power = table.assemble(
+            models.cpu.predict_power_from_matrix(
+                table.X_power_cpu, cpu_sample.total_power_w
+            ),
+            models.gpu.predict_power_from_matrix(
+                table.X_power_gpu, gpu_sample.total_power_w
+            ),
         )
-        cpu_perf = models.cpu.predict_performance_from_matrix(
-            self._X_perf_cpu, cpu_sample.performance
-        )
-        gpu_power = models.gpu.predict_power_from_matrix(
-            self._X_power_gpu, gpu_sample.total_power_w
-        )
-        gpu_perf = models.gpu.predict_performance_from_matrix(
-            self._X_perf_gpu, gpu_sample.performance
-        )
-        predictions = {
-            cfg: (float(pw), float(pf))
-            for cfg, pw, pf in zip(self._cpu_configs, cpu_power, cpu_perf)
-        }
-        predictions.update(
-            (cfg, (float(pw), float(pf)))
-            for cfg, pw, pf in zip(self._gpu_configs, gpu_power, gpu_perf)
+        performance = table.assemble(
+            models.cpu.predict_performance_from_matrix(
+                table.X_perf_cpu, cpu_sample.performance
+            ),
+            models.gpu.predict_performance_from_matrix(
+                table.X_perf_gpu, gpu_sample.performance
+            ),
         )
 
-        uncertainties = None
+        power_std = performance_std = None
         if with_uncertainty:
-            cpu_power_std = models.cpu.predict_power_std_from_matrix(
-                self._X_power_cpu, cpu_sample.total_power_w
+            power_std = table.assemble(
+                models.cpu.predict_power_std_from_matrix(
+                    table.X_power_cpu, cpu_sample.total_power_w
+                ),
+                models.gpu.predict_power_std_from_matrix(
+                    table.X_power_gpu, gpu_sample.total_power_w
+                ),
             )
-            cpu_perf_std = models.cpu.predict_performance_std_from_matrix(
-                self._X_perf_cpu, cpu_sample.performance
-            )
-            gpu_power_std = models.gpu.predict_power_std_from_matrix(
-                self._X_power_gpu, gpu_sample.total_power_w
-            )
-            gpu_perf_std = models.gpu.predict_performance_std_from_matrix(
-                self._X_perf_gpu, gpu_sample.performance
-            )
-            uncertainties = {
-                cfg: (float(pw), float(pf))
-                for cfg, pw, pf in zip(
-                    self._cpu_configs, cpu_power_std, cpu_perf_std
-                )
-            }
-            uncertainties.update(
-                (cfg, (float(pw), float(pf)))
-                for cfg, pw, pf in zip(
-                    self._gpu_configs, gpu_power_std, gpu_perf_std
-                )
+            performance_std = table.assemble(
+                models.cpu.predict_performance_std_from_matrix(
+                    table.X_perf_cpu, cpu_sample.performance
+                ),
+                models.gpu.predict_performance_std_from_matrix(
+                    table.X_perf_gpu, gpu_sample.performance
+                ),
             )
 
-        return KernelPrediction(
+        return KernelPrediction.from_arrays(
             kernel_uid=kernel_uid,
             cluster=cluster,
-            predictions=predictions,
+            configs=table.configs,
+            index=table.index,
+            power_w=power,
+            performance=performance,
             cpu_sample=cpu_sample,
             gpu_sample=gpu_sample,
-            uncertainties=uncertainties,
+            power_std_w=power_std,
+            performance_std=performance_std,
         )
 
 

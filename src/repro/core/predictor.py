@@ -11,12 +11,23 @@ new kernel, we derive a predicted Pareto frontier."
 :class:`KernelPrediction` is that output; :class:`OnlinePredictor` is
 the runtime driver that produces it from a live kernel via the
 profiling library.
+
+The prediction is *array-backed*: power, performance, and (optional)
+uncertainty live in numpy vectors indexed by the configuration order of
+a :class:`~repro.core.configspace.ConfigTable` (or whatever order an
+ad-hoc mapping supplied).  The historical
+``Mapping[Configuration, tuple[float, float]]`` API is preserved as a
+lazy view over those vectors, so dict-shaped callers keep working while
+the scheduler, frontier construction, and cap sweeps read the arrays
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.frontier import ParetoFrontier
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
@@ -28,6 +39,76 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import AdaptiveModel
 
 __all__ = ["KernelPrediction", "OnlinePredictor"]
+
+
+class _ArrayPairView(Mapping):
+    """Read-only ``{config: (a[i], b[i])}`` view over parallel vectors.
+
+    This is the compatibility contract of the array-backed prediction
+    engine: existing callers that iterate ``prediction.predictions``
+    see a mapping in configuration order, while the arrays stay the
+    single source of truth (see docs/PREDICTION_ENGINE.md).
+    """
+
+    __slots__ = ("_configs", "_index", "_a", "_b")
+
+    def __init__(
+        self,
+        configs: tuple[Configuration, ...],
+        index: Mapping[Configuration, int],
+        a: np.ndarray,
+        b: np.ndarray,
+    ) -> None:
+        self._configs = configs
+        self._index = index
+        self._a = a
+        self._b = b
+
+    def __getitem__(self, cfg: Configuration) -> tuple[float, float]:
+        i = self._index[cfg]
+        return (float(self._a[i]), float(self._b[i]))
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self._configs)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __contains__(self, cfg: object) -> bool:
+        return cfg in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _ArrayPairView):
+            return (
+                self._configs == other._configs
+                and np.array_equal(self._a, other._a)
+                and np.array_equal(self._b, other._b)
+            )
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<_ArrayPairView of {len(self._configs)} configurations>"
+
+
+def _extract_arrays(
+    mapping: Mapping[Configuration, tuple[float, float]],
+) -> tuple[tuple[Configuration, ...], dict[Configuration, int], np.ndarray, np.ndarray]:
+    """Split an ad-hoc ``{config: (a, b)}`` mapping into parallel arrays
+    in the mapping's iteration order."""
+    configs = tuple(mapping)
+    index = {cfg: i for i, cfg in enumerate(configs)}
+    a = np.empty(len(configs))
+    b = np.empty(len(configs))
+    for i, (va, vb) in enumerate(mapping.values()):
+        a[i] = va
+        b[i] = vb
+    return configs, index, a, b
 
 
 @dataclass(frozen=True)
@@ -42,7 +123,10 @@ class KernelPrediction:
         Cluster the classification tree assigned.
     predictions:
         ``{config: (predicted power W, predicted performance)}`` for
-        every machine configuration.
+        every machine configuration.  A lazy view over the backing
+        arrays when built through :meth:`from_arrays` (the model path);
+        any mapping passed directly is accepted and converted to
+        backing arrays in its iteration order.
     cpu_sample, gpu_sample:
         The two sample measurements the prediction is anchored to.
     uncertainties:
@@ -61,22 +145,125 @@ class KernelPrediction:
     def __post_init__(self) -> None:
         if not self.predictions:
             raise ValueError("prediction must cover at least one configuration")
-        if self.uncertainties is not None and set(self.uncertainties) != set(
-            self.predictions
-        ):
-            raise ValueError("uncertainties must cover the same configurations")
+        preds = self.predictions
+        if isinstance(preds, _ArrayPairView):
+            configs, index = preds._configs, preds._index
+            power, perf = preds._a, preds._b
+        else:
+            configs, index, power, perf = _extract_arrays(preds)
+        power_std = perf_std = None
+        unc = self.uncertainties
+        if unc is not None:
+            if isinstance(unc, _ArrayPairView) and unc._configs is configs:
+                power_std, perf_std = unc._a, unc._b
+            elif set(unc) != set(preds):
+                raise ValueError("uncertainties must cover the same configurations")
+            else:
+                power_std = np.empty(len(configs))
+                perf_std = np.empty(len(configs))
+                for i, cfg in enumerate(configs):
+                    power_std[i], perf_std[i] = unc[cfg]
+        object.__setattr__(self, "_configs", configs)
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_power", power)
+        object.__setattr__(self, "_perf", perf)
+        object.__setattr__(self, "_power_std", power_std)
+        object.__setattr__(self, "_perf_std", perf_std)
+        object.__setattr__(self, "_frontier", None)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        kernel_uid: str,
+        cluster: int,
+        configs: Sequence[Configuration],
+        index: Mapping[Configuration, int],
+        power_w: np.ndarray,
+        performance: np.ndarray,
+        cpu_sample: Measurement,
+        gpu_sample: Measurement,
+        power_std_w: np.ndarray | None = None,
+        performance_std: np.ndarray | None = None,
+    ) -> "KernelPrediction":
+        """Build a prediction directly from configuration-ordered
+        vectors (the model's hot path — no per-config dict is built;
+        the mapping API becomes a lazy view)."""
+        configs = tuple(configs)
+        predictions = _ArrayPairView(configs, index, power_w, performance)
+        uncertainties = None
+        if power_std_w is not None or performance_std is not None:
+            if power_std_w is None or performance_std is None:
+                raise ValueError(
+                    "power and performance stds must be given together"
+                )
+            uncertainties = _ArrayPairView(
+                configs, index, power_std_w, performance_std
+            )
+        return cls(
+            kernel_uid=kernel_uid,
+            cluster=cluster,
+            predictions=predictions,
+            cpu_sample=cpu_sample,
+            gpu_sample=gpu_sample,
+            uncertainties=uncertainties,
+        )
+
+    # -- array views (the scheduling/frontier hot path) -------------------------
+
+    @property
+    def config_tuple(self) -> tuple[Configuration, ...]:
+        """Configurations in backing-array order."""
+        return self._configs  # type: ignore[attr-defined]
+
+    @property
+    def power_array(self) -> np.ndarray:
+        """Predicted power (watts) per configuration, in array order."""
+        return self._power  # type: ignore[attr-defined]
+
+    @property
+    def performance_array(self) -> np.ndarray:
+        """Predicted performance per configuration, in array order."""
+        return self._perf  # type: ignore[attr-defined]
+
+    @property
+    def power_std_array(self) -> np.ndarray | None:
+        """Prediction power stds in array order (``None`` without
+        ``with_uncertainty``)."""
+        return self._power_std  # type: ignore[attr-defined]
+
+    @property
+    def performance_std_array(self) -> np.ndarray | None:
+        """Prediction performance stds in array order (``None`` without
+        ``with_uncertainty``)."""
+        return self._perf_std  # type: ignore[attr-defined]
+
+    def config_at(self, i: int) -> Configuration:
+        """The configuration at backing-array row ``i``."""
+        return self._configs[i]  # type: ignore[attr-defined]
+
+    # -- queries ----------------------------------------------------------------
 
     def predicted_frontier(self) -> ParetoFrontier:
-        """Pareto frontier of the predicted (power, performance) points."""
-        return ParetoFrontier.from_predictions(dict(self.predictions))
+        """Pareto frontier of the predicted (power, performance) points
+        (computed once and cached — predictions are immutable)."""
+        if self._frontier is None:  # type: ignore[attr-defined]
+            object.__setattr__(
+                self,
+                "_frontier",
+                ParetoFrontier.from_arrays(
+                    self._configs, self._power, self._perf  # type: ignore[attr-defined]
+                ),
+            )
+        return self._frontier  # type: ignore[attr-defined]
 
     def predicted_power_w(self, cfg: Configuration) -> float:
         """Predicted power of one configuration (watts)."""
-        return self.predictions[cfg][0]
+        return float(self._power[self._index[cfg]])  # type: ignore[attr-defined]
 
     def predicted_performance(self, cfg: Configuration) -> float:
         """Predicted performance of one configuration."""
-        return self.predictions[cfg][1]
+        return float(self._perf[self._index[cfg]])  # type: ignore[attr-defined]
 
 
 class OnlinePredictor:
@@ -98,6 +285,11 @@ class OnlinePredictor:
     def __init__(self, model: "AdaptiveModel", library: ProfilingLibrary) -> None:
         self.model = model
         self.library = library
+
+    @property
+    def table(self):
+        """The model's shared configuration table."""
+        return self.model.table
 
     def predict(self, kernel, *, with_uncertainty: bool = False) -> KernelPrediction:
         """Run the two sample iterations of ``kernel`` and predict power

@@ -11,13 +11,23 @@ This scheduler supports all three goals, plus the paper's future-work
 idea (Section VI) of risk-aware selection: with ``risk_margin > 0`` the
 scheduler treats the cap as proportionally tighter, trading expected
 performance for fewer violations when predictions are uncertain.
+
+Selection is array-shaped: one :meth:`Scheduler.select` is a masked
+argmax over the prediction's power/performance vectors (including the
+risk-averse sigma-inflated bounds), and :meth:`Scheduler.select_many`
+answers an entire cap sweep in a single sorted pass — the per-config
+scores are prefix-scanned once in ascending-power order, then every cap
+resolves with one :func:`numpy.searchsorted` lookup.  Ties break
+exactly as the historical scalar loop did: the earliest configuration
+in prediction order wins.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence
+
+import numpy as np
 
 from repro.core.predictor import KernelPrediction
 from repro.hardware.config import Configuration
@@ -62,6 +72,19 @@ def _objective(goal: SchedulingGoal, power_w: float, perf: float) -> float:
     raise ValueError(f"unknown scheduling goal {goal!r}")
 
 
+def _objective_array(
+    goal: SchedulingGoal, power_w: np.ndarray, perf: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`_objective` (elementwise-identical scores)."""
+    if goal == "performance":
+        return perf
+    if goal == "energy":
+        return -power_w / perf
+    if goal == "edp":
+        return -power_w / (perf * perf)
+    raise ValueError(f"unknown scheduling goal {goal!r}")
+
+
 class Scheduler:
     """Selects configurations from model predictions.
 
@@ -87,6 +110,66 @@ class Scheduler:
             raise ValueError("risk_margin must be in [0, 1)")
         self.goal = goal
         self.risk_margin = risk_margin
+
+    # -- shared machinery --------------------------------------------------------
+
+    def _resolve_margin(self, risk_margin: float | None) -> float:
+        if risk_margin is None:
+            return self.risk_margin
+        if not 0.0 <= risk_margin < 1.0:
+            raise ValueError("risk_margin must be in [0, 1)")
+        return risk_margin
+
+    @staticmethod
+    def _bounds(
+        prediction: KernelPrediction,
+        risk_averse: bool,
+        confidence_z: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The (power, performance) vectors selection judges: raw
+        predictions, or sigma-inflated confidence bounds (Section VI)."""
+        pw = prediction.power_array
+        perf = prediction.performance_array
+        if not risk_averse:
+            return pw, perf
+        pw_std = prediction.power_std_array
+        perf_std = prediction.performance_std_array
+        pw_bound = np.where(np.isnan(pw_std), pw, pw + confidence_z * pw_std)
+        perf_bound = np.where(
+            np.isnan(perf_std),
+            perf,
+            np.maximum(perf - confidence_z * perf_std, 1e-9),
+        )
+        return pw_bound, perf_bound
+
+    def _decision(
+        self,
+        prediction: KernelPrediction,
+        i: int,
+        feasible: bool,
+    ) -> SchedulerDecision:
+        return SchedulerDecision(
+            config=prediction.config_at(i),
+            predicted_power_w=float(prediction.power_array[i]),
+            predicted_performance=float(prediction.performance_array[i]),
+            predicted_feasible=feasible,
+        )
+
+    @staticmethod
+    def _validate_selection_args(
+        prediction: KernelPrediction,
+        risk_averse: bool,
+        confidence_z: float,
+    ) -> None:
+        if confidence_z < 0:
+            raise ValueError("confidence_z must be non-negative")
+        if risk_averse and prediction.uncertainties is None:
+            raise ValueError(
+                "risk_averse selection needs a prediction built with "
+                "with_uncertainty=True"
+            )
+
+    # -- selection ---------------------------------------------------------------
 
     def select(
         self,
@@ -125,44 +208,74 @@ class Scheduler:
         """
         if power_cap_w <= 0:
             raise ValueError("power_cap_w must be positive")
-        if risk_margin is None:
-            risk_margin = self.risk_margin
-        if not 0.0 <= risk_margin < 1.0:
-            raise ValueError("risk_margin must be in [0, 1)")
-        if confidence_z < 0:
-            raise ValueError("confidence_z must be non-negative")
-        if risk_averse and prediction.uncertainties is None:
-            raise ValueError(
-                "risk_averse selection needs a prediction built with "
-                "with_uncertainty=True"
-            )
+        risk_margin = self._resolve_margin(risk_margin)
+        self._validate_selection_args(prediction, risk_averse, confidence_z)
 
         effective_cap = power_cap_w * (1.0 - risk_margin)
-        best: tuple[float, SchedulerDecision] | None = None
-        fallback: tuple[float, SchedulerDecision] | None = None
-        for cfg, (pw, perf) in prediction.predictions.items():
-            pw_bound, perf_bound = pw, perf
-            if risk_averse:
-                pw_std, perf_std = prediction.uncertainties[cfg]
-                if not math.isnan(pw_std):
-                    pw_bound = pw + confidence_z * pw_std
-                if not math.isnan(perf_std):
-                    perf_bound = max(perf - confidence_z * perf_std, 1e-9)
-            decision = SchedulerDecision(
-                config=cfg,
-                predicted_power_w=pw,
-                predicted_performance=perf,
-                predicted_feasible=pw_bound <= effective_cap,
+        pw_bound, perf_bound = self._bounds(prediction, risk_averse, confidence_z)
+        feasible = pw_bound <= effective_cap
+        feasible_idx = np.flatnonzero(feasible)
+        if feasible_idx.size:
+            scores = _objective_array(
+                self.goal, pw_bound[feasible_idx], perf_bound[feasible_idx]
             )
-            if decision.predicted_feasible:
-                score = _objective(self.goal, pw_bound, perf_bound)
-                if best is None or score > best[0]:
-                    best = (score, decision)
-            # Fallback: minimize (bounded) predicted power.
-            fb_score = -pw_bound
-            if fallback is None or fb_score > fallback[0]:
-                fallback = (fb_score, decision)
-        if best is not None:
-            return best[1]
-        assert fallback is not None  # predictions is non-empty by construction
-        return fallback[1]
+            # argmax returns the first maximum: earliest prediction
+            # order wins ties, like the scalar loop's strict '>'.
+            i = int(feasible_idx[np.argmax(scores)])
+            return self._decision(prediction, i, True)
+        # Fallback: minimize (bounded) predicted power.
+        i = int(np.argmin(pw_bound))
+        return self._decision(prediction, i, False)
+
+    def select_many(
+        self,
+        prediction: KernelPrediction,
+        power_caps_w: Sequence[float] | np.ndarray,
+        *,
+        risk_margin: float | None = None,
+        risk_averse: bool = False,
+        confidence_z: float = 1.0,
+    ) -> list[SchedulerDecision]:
+        """Answer an entire cap sweep in one pass.
+
+        Equivalent to ``[self.select(prediction, c, ...) for c in
+        power_caps_w]`` — decision-for-decision, including tie-breaking
+        and the infeasible-cap fallback — but the per-config scores are
+        prefix-scanned once in ascending bounded-power order, after
+        which every cap costs a single binary search.
+        """
+        caps = np.asarray(power_caps_w, dtype=np.float64)
+        if caps.ndim != 1:
+            raise ValueError("power_caps_w must be one-dimensional")
+        if caps.size and caps.min() <= 0:
+            raise ValueError("power_cap_w must be positive")
+        risk_margin = self._resolve_margin(risk_margin)
+        self._validate_selection_args(prediction, risk_averse, confidence_z)
+
+        pw_bound, perf_bound = self._bounds(prediction, risk_averse, confidence_z)
+        scores = _objective_array(self.goal, pw_bound, perf_bound)
+
+        # Prefix scan in ascending bounded-power order: best_at[j] is
+        # the winner among the j+1 lowest-power configurations, breaking
+        # score ties toward the earliest prediction index (the scalar
+        # loop's iteration-order semantics).
+        order = np.argsort(pw_bound, kind="stable")
+        sorted_pw = pw_bound[order]
+        best_at = np.empty(order.size, dtype=np.intp)
+        best_i = -1
+        best_score = -np.inf
+        for pos, j in enumerate(order):
+            s = scores[j]
+            if best_i < 0 or s > best_score or (s == best_score and j < best_i):
+                best_i, best_score = int(j), s
+            best_at[pos] = best_i
+        fallback_i = int(np.argmin(pw_bound))
+
+        effective_caps = caps * (1.0 - risk_margin)
+        cut = np.searchsorted(sorted_pw, effective_caps, side="right")
+        return [
+            self._decision(prediction, int(best_at[c - 1]), True)
+            if c > 0
+            else self._decision(prediction, fallback_i, False)
+            for c in cut
+        ]

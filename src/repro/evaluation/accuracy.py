@@ -145,14 +145,13 @@ def evaluate_prediction_accuracy(
             prediction = model.predict_kernel(
                 cpu_m, gpu_m, kernel_uid=kernel.uid
             )
-            pred_p, pred_f, true_p, true_f = [], [], [], []
-            for cfg, (pw, pf) in prediction.predictions.items():
-                pred_p.append(pw)
-                pred_f.append(pf)
-                true_p.append(apu.true_total_power_w(kernel, cfg))
-                true_f.append(apu.true_performance(kernel, cfg))
-            pred_p, pred_f = np.array(pred_p), np.array(pred_f)
-            true_p, true_f = np.array(true_p), np.array(true_f)
+            pred_p = prediction.power_array
+            pred_f = prediction.performance_array
+            configs = prediction.config_tuple
+            true_p = np.array(
+                [apu.true_total_power_w(kernel, c) for c in configs]
+            )
+            true_f = np.array([apu.true_performance(kernel, c) for c in configs])
             ape_p = np.abs(pred_p - true_p) / true_p
             ape_f = np.abs(pred_f - true_f) / true_f
             fold_results.append(

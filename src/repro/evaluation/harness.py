@@ -98,14 +98,25 @@ def evaluate_kernel(
     for method in methods:
         method.prepare(kernel)
 
+    # Batched cap selection: each method answers the whole sweep at
+    # once (model-based methods in a single array pass, stateful
+    # baselines via their sequential default).  Per-method decision
+    # sequences are identical to the historical per-cap loop — each
+    # method still sees its caps in order on its own noise stream — so
+    # the records below are bit-identical, merely gathered per method
+    # first and then laid out cap-major as before.
+    oracle_decisions = oracle.decide_many(kernel, cap_list)
+    method_decisions = [method.decide_many(kernel, cap_list) for method in methods]
+
+    truth = apu.true_table(kernel)
     records: list[CapEvaluation] = []
-    for cap in cap_list:
-        oracle_cfg = oracle.decide(kernel, cap).config
-        o_power = apu.true_total_power_w(kernel, oracle_cfg)
-        o_perf = apu.true_performance(kernel, oracle_cfg)
-        for method in methods:
-            decision = method.decide(kernel, cap)
+    for ci, cap in enumerate(cap_list):
+        oracle_cfg = oracle_decisions[ci].config
+        o_power, o_perf = truth[oracle_cfg]
+        for method, decisions in zip(methods, method_decisions):
+            decision = decisions[ci]
             cfg = decision.config
+            power_w, performance = truth[cfg]
             records.append(
                 CapEvaluation(
                     kernel_uid=kernel.uid,
@@ -115,8 +126,8 @@ def evaluate_kernel(
                     method=method.name,
                     power_cap_w=cap,
                     config=cfg,
-                    power_w=apu.true_total_power_w(kernel, cfg),
-                    performance=apu.true_performance(kernel, cfg),
+                    power_w=power_w,
+                    performance=performance,
                     oracle_config=oracle_cfg,
                     oracle_power_w=o_power,
                     oracle_performance=o_perf,

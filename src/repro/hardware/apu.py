@@ -81,6 +81,39 @@ class Measurement:
         return self.total_power_w * self.time_s
 
 
+# Process-wide ground-truth caches.  With boost off, ground truth is a
+# pure function of (characteristics, config) given the power constants,
+# and the noisy-measurement template additionally depends only on the
+# noise model — so every TrinityAPU with equal constants shares one set
+# of memo dicts.  run_loocv and the evaluation harness build fresh
+# machines constantly (fresh noise streams, same physics); sharing keeps
+# repeated runs from re-deriving identical truths.  Keyspace is bounded:
+# kernels-in-process x 42 configurations.
+_TRUTH_CACHES: dict[PowerModelConstants, tuple[dict, dict, dict]] = {}
+_TRUTH_TABLE_CACHES: dict[PowerModelConstants, dict] = {}
+_TEMPLATE_CACHES: dict[tuple[PowerModelConstants, NoiseModel], dict] = {}
+
+
+def _truth_caches(
+    constants: PowerModelConstants,
+) -> tuple[dict, dict, dict]:
+    caches = _TRUTH_CACHES.get(constants)
+    if caches is None:
+        caches = ({}, {}, {})
+        _TRUTH_CACHES[constants] = caches
+    return caches
+
+
+def _template_cache(
+    constants: PowerModelConstants, noise: NoiseModel
+) -> dict:
+    cache = _TEMPLATE_CACHES.get((constants, noise))
+    if cache is None:
+        cache = {}
+        _TEMPLATE_CACHES[(constants, noise)] = cache
+    return cache
+
+
 def _characteristics(kernel: object) -> KernelCharacteristics:
     """Accept either raw characteristics or any object exposing them via
     a ``characteristics`` attribute (e.g. :class:`repro.workloads.Kernel`)."""
@@ -134,15 +167,40 @@ class TrinityAPU:
         # Ground truth is a pure function of (characteristics, config)
         # when boost is off, and the evaluation protocol revisits the
         # same pairs constantly (oracle frontiers, limiter traces), so
-        # memoize it.  Boost may carry thermal state, so it bypasses the
-        # cache.
-        self._time_cache: dict[tuple[KernelCharacteristics, Configuration], float] = {}
+        # memoize it — process-wide, shared by every machine with equal
+        # power constants.  Boost may carry thermal state, so it
+        # bypasses the caches.
+        self._time_cache: dict[tuple[KernelCharacteristics, Configuration], float]
         self._power_cache: dict[
             tuple[KernelCharacteristics, Configuration], PowerBreakdown
-        ] = {}
-        self._counter_cache: dict[
-            tuple[KernelCharacteristics, Configuration], dict[str, float]
-        ] = {}
+        ]
+        self._time_cache, self._power_cache, self._counter_cache = _truth_caches(
+            self.power_constants
+        )
+        # Fused measurement templates: (counter names, ground-truth
+        # vector [t, cpu_w, nbgpu_w, counters...], lognormal mean/sigma
+        # vectors) per (characteristics, config).  Lets :meth:`run`
+        # replace three cache lookups and four RNG calls with one lookup
+        # and one vectorized draw.  Only valid when every noise axis is
+        # nonzero (a zero axis skips its draw in the scalar path, so the
+        # fused draw would desynchronize the stream) — ``_noise_mode``
+        # records which regime applies.
+        self._meas_cache: dict[
+            tuple[KernelCharacteristics, Configuration],
+            tuple[tuple[str, ...], float, float, float, np.ndarray],
+        ] = _template_cache(self.power_constants, self.noise)
+        rels = (self.noise.time_rel, self.noise.power_rel, self.noise.counter_rel)
+        if all(r > 0.0 for r in rels):
+            self._noise_mode = "vector"
+        elif all(r == 0.0 for r in rels):
+            self._noise_mode = "exact"
+        else:
+            self._noise_mode = "scalar"
+        # Lognormal parameters of each noise axis, precomputed exactly as
+        # NoiseModel._scale computes them (python-float arithmetic).
+        self._ln_time = (-0.5 * rels[0] * rels[0], rels[0])
+        self._ln_power = (-0.5 * rels[1] * rels[1], rels[1])
+        self._ln_counter = (-0.5 * rels[2] * rels[2], rels[2])
 
     # -- opportunistic boost (Section VI extension) ----------------------------
 
@@ -205,6 +263,41 @@ class TrinityAPU:
         """Deterministic throughput (invocations per second)."""
         return 1.0 / self.true_time_s(kernel, cfg)
 
+    def true_table(
+        self, kernel: object
+    ) -> dict[Configuration, tuple[float, float]]:
+        """Per-configuration ground truth ``{config: (total power W,
+        performance)}`` over the whole space, memoized process-wide.
+
+        The evaluation harness judges every decision against ground
+        truth; one dict lookup per record beats two memoized calls.
+        Falls back to an uncached build when boost is enabled (thermal
+        state may make truth impure).
+        """
+        chars = _characteristics(kernel)
+        if self.boost is None:
+            tables = _TRUTH_TABLE_CACHES.get(self.power_constants)
+            if tables is None:
+                tables = {}
+                _TRUTH_TABLE_CACHES[self.power_constants] = tables
+            table = tables.get(chars)
+            if table is None:
+                table = self._build_true_table(chars)
+                tables[chars] = table
+            return table
+        return self._build_true_table(chars)
+
+    def _build_true_table(
+        self, chars: KernelCharacteristics
+    ) -> dict[Configuration, tuple[float, float]]:
+        return {
+            cfg: (
+                self.true_power(chars, cfg).total_w,
+                1.0 / self.true_time_s(chars, cfg),
+            )
+            for cfg in self.config_space
+        }
+
     # -- measurement -----------------------------------------------------------
 
     def run(
@@ -226,11 +319,49 @@ class TrinityAPU:
             Optional generator for the measurement noise; defaults to the
             machine's internal stream.
         """
+        chars = _characteristics(kernel)
+
+        if self.boost is None and self._noise_mode != "scalar":
+            tpl = self._meas_cache.get((chars, cfg))
+            if tpl is None:
+                if cfg not in self.config_space:
+                    raise ValueError(
+                        f"{cfg} is not a valid configuration for this machine"
+                    )
+                tpl = self._measurement_template(chars, cfg)
+                self._meas_cache[(chars, cfg)] = tpl
+            names, t_true, cpu_true, nbgpu_true, counter_vals = tpl
+            if self._noise_mode == "vector":
+                # Same draw sequence as the legacy scalar path — one time
+                # draw, two power draws (a size-2 call consumes the
+                # stream exactly like two scalar calls), then the counter
+                # block — so measurements are bit-identical.
+                r = rng if rng is not None else self._rng
+                mt, st = self._ln_time
+                t = t_true * r.lognormal(mean=mt, sigma=st)
+                mp, sp = self._ln_power
+                pw = r.lognormal(mean=mp, sigma=sp, size=2)
+                mc, sc = self._ln_counter
+                factors = r.lognormal(mean=mc, sigma=sc, size=counter_vals.size)
+                return Measurement(
+                    config=cfg,
+                    time_s=float(t),
+                    cpu_plane_w=float(cpu_true * pw[0]),
+                    nbgpu_plane_w=float(nbgpu_true * pw[1]),
+                    counters=dict(zip(names, (counter_vals * factors).tolist())),
+                )
+            # exact: measurements equal ground truth, no draws
+            return Measurement(
+                config=cfg,
+                time_s=t_true,
+                cpu_plane_w=cpu_true,
+                nbgpu_plane_w=nbgpu_true,
+                counters=dict(zip(names, counter_vals.tolist())),
+            )
+
         if cfg not in self.config_space:
             raise ValueError(f"{cfg} is not a valid configuration for this machine")
-        chars = _characteristics(kernel)
         r = rng if rng is not None else self._rng
-
         t = self.noise.perturb_time(self.true_time_s(chars, cfg), r)
         pb = self.true_power(chars, cfg)
         cpu_w = self.noise.perturb_power(pb.cpu_plane_w, r)
@@ -246,6 +377,26 @@ class TrinityAPU:
             cpu_plane_w=cpu_w,
             nbgpu_plane_w=nbgpu_w,
             counters=counters,
+        )
+
+    def _measurement_template(
+        self, chars: KernelCharacteristics, cfg: Configuration
+    ) -> tuple[tuple[str, ...], float, float, float, np.ndarray]:
+        """Build the fused ground-truth template for one pair."""
+        t = self.true_time_s(chars, cfg)
+        pb = self.true_power(chars, cfg)
+        true_counters = self._counter_cache.get((chars, cfg))
+        if true_counters is None:
+            true_counters = synthesize_counters(chars, cfg)
+            self._counter_cache[(chars, cfg)] = true_counters
+        counter_vals = np.array(list(true_counters.values()))
+        counter_vals.setflags(write=False)
+        return (
+            tuple(true_counters),
+            t,
+            pb.cpu_plane_w,
+            pb.nbgpu_plane_w,
+            counter_vals,
         )
 
     def run_all_configs(

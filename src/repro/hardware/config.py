@@ -75,6 +75,35 @@ class Configuration:
             raise ValueError(
                 "CPU configurations idle the GPU at its minimum P-state"
             )
+        # Configurations key every hot-path dict (ground-truth caches,
+        # config-space indices, prediction views); the generated
+        # dataclass hash rebuilds a field tuple per lookup, so cache it.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.device, self.cpu_freq_ghz, self.n_threads, self.gpu_freq_ghz)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # The cached hash is derived state: keep it out of the pickle
+    # payload (byte-identical to pre-cache pickles) and rebuild it on
+    # load, where ``__init__``/``__post_init__`` never run.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_hash"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for k, v in state.items():
+            object.__setattr__(self, k, v)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.device, self.cpu_freq_ghz, self.n_threads, self.gpu_freq_ghz)),
+        )
 
     # -- convenient constructors -------------------------------------------
 

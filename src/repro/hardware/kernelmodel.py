@@ -135,6 +135,7 @@ class KernelCharacteristics:
     }
 
     def __post_init__(self) -> None:
+        values = []
         for f in fields(self):
             lo, hi = self._RANGES[f.name]
             v = getattr(self, f.name)
@@ -142,6 +143,31 @@ class KernelCharacteristics:
                 raise ValueError(
                     f"{f.name}={v} outside valid range [{lo}, {hi}]"
                 )
+            values.append(v)
+        # Characteristics key the machine's ground-truth memo caches,
+        # hit once per simulated measurement; the generated dataclass
+        # hash would rebuild this 14-tuple on every lookup.
+        object.__setattr__(self, "_hash", hash(tuple(values)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Keep the cached hash out of pickles (derived state; payloads stay
+    # byte-identical to pre-cache pickles) and rebuild it on load.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_hash"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for k, v in state.items():
+            object.__setattr__(self, k, v)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(tuple(getattr(self, f.name) for f in fields(self))),
+        )
 
 
 def amdahl_speedup(n_threads: int, parallel_fraction: float) -> float:

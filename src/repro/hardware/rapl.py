@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hardware import pstates
-from repro.hardware.apu import Measurement, TrinityAPU
+from repro.hardware.apu import Measurement, TrinityAPU, _characteristics
 from repro.hardware.config import Configuration, Device
 
 __all__ = ["FrequencyLimiter", "LimiterResult"]
@@ -118,6 +118,9 @@ class FrequencyLimiter:
         """
         if power_cap_w <= 0:
             raise ValueError("power_cap_w must be positive")
+        # Resolve characteristics once: every control step re-measures
+        # the same kernel, so don't re-derive them per apu.run call.
+        kernel = _characteristics(kernel)
         trace: list[tuple[Configuration, float]] = []
         cfg = start
         m = self.apu.run(kernel, cfg, rng=rng)
@@ -155,6 +158,7 @@ class FrequencyLimiter:
         headroom remains, raise the host CPU frequency as far as possible
         without violating the cap.
         """
+        kernel = _characteristics(kernel)
         start = Configuration.gpu(
             pstates.GPU_MAX_FREQ_GHZ, pstates.CPU_MIN_FREQ_GHZ
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.hardware.config import Configuration
 
@@ -51,6 +52,20 @@ class PowerLimitMethod(abc.ABC):
     @abc.abstractmethod
     def decide(self, kernel, power_cap_w: float) -> MethodDecision:
         """Commit to a configuration for ``kernel`` under ``power_cap_w``."""
+
+    def decide_many(
+        self, kernel, power_caps_w: Sequence[float]
+    ) -> list[MethodDecision]:
+        """Commit to a configuration per cap of a sweep, in cap order.
+
+        Semantically identical to calling :meth:`decide` per cap in the
+        given order (the default does exactly that, so stateful methods
+        — e.g. the frequency-limiting baselines' measurement-noise
+        streams — observe the same call sequence).  Model-based methods
+        override this to answer the whole sweep from one pass over
+        their cached prediction arrays.
+        """
+        return [self.decide(kernel, cap) for cap in power_caps_w]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -75,6 +75,15 @@ class ModelMethod(PowerLimitMethod):
         # itself costs no kernel runs.
         return MethodDecision(config=decision.config, online_runs=2)
 
+    def decide_many(self, kernel, power_caps_w) -> list[MethodDecision]:
+        """Whole cap sweep answered in one ``select_many`` pass over the
+        cached prediction arrays."""
+        prediction = self.prediction_for(kernel)
+        return [
+            MethodDecision(config=d.config, online_runs=2)
+            for d in self.scheduler.select_many(prediction, power_caps_w)
+        ]
+
 
 class ModelPlusFL(PowerLimitMethod):
     """Model selection refined by RAPL-style frequency limiting."""
@@ -105,3 +114,19 @@ class ModelPlusFL(PowerLimitMethod):
             config=result.final_config,
             online_runs=2 + len(result.trace),
         )
+
+    def decide_many(self, kernel, power_caps_w) -> list[MethodDecision]:
+        """Batched model selection, then the limiter walk per cap (the
+        limiter is a measurement feedback loop and stays sequential;
+        caps are visited in order so its noise stream is unchanged)."""
+        starts = self._model_method.decide_many(kernel, power_caps_w)
+        decisions = []
+        for cap, start in zip(power_caps_w, starts):
+            result = self.limiter.limit(kernel, start.config, cap, rng=self._rng)
+            decisions.append(
+                MethodDecision(
+                    config=result.final_config,
+                    online_runs=2 + len(result.trace),
+                )
+            )
+        return decisions

@@ -43,6 +43,17 @@ __all__ = ["ProfilingLibrary"]
 #: Counter read cost at kernel start + finish (paper: < 50 us).
 COUNTER_READ_OVERHEAD_S: float = 50e-6
 
+#: Process-wide memo of profiled executions.  A profile is a pure
+#: function of the machine physics (power constants, noise model), the
+#: sampling model, the library's base entropy, and the run identity
+#: (kernel uid + characteristics, configuration, repetition) — the
+#: counter-based streams exist precisely so that equal seeds reproduce
+#: equal profiles.  Repeated evaluations (warm LOOCV runs, ablation
+#: sweeps) therefore reuse measurements instead of re-integrating the
+#: sampled traces.  Bypassed when the machine has boost enabled (truth
+#: may carry thermal state).
+_PROFILE_CACHE: dict[tuple, tuple[Measurement, float]] = {}
+
 
 def _run_key(kernel_uid: str, config: Configuration, repetition: int) -> list[int]:
     """Stable 128-bit entropy words identifying one profiled run."""
@@ -123,6 +134,29 @@ class ProfilingLibrary:
 
         repetition = self._rep_counts.get((uid, config), 0)
         self._rep_counts[(uid, config)] = repetition + 1
+
+        chars = kernel if not hasattr(kernel, "characteristics") else (
+            kernel.characteristics
+        )
+        memo_key = None
+        if self.apu.boost is None:
+            memo_key = (
+                self.apu.power_constants,
+                self.apu.noise,
+                self.sampler,
+                tuple(self._base_entropy),
+                uid,
+                chars,
+                config,
+                repetition,
+            )
+            cached = _PROFILE_CACHE.get(memo_key)
+            if cached is not None:
+                measurement, sampling_overhead = cached
+                return self.database.record(
+                    uid, measurement, sampling_overhead_s=sampling_overhead
+                )
+
         rng = self._run_rng(uid, config, repetition)
         true_t = self.apu.true_time_s(kernel, config)
         true_pb = self.apu.true_power(kernel, config)
@@ -137,9 +171,6 @@ class ProfilingLibrary:
         noisy_t = self.apu.noise.perturb_time(true_t, rng)
         measured_t = noisy_t + sampling_overhead
 
-        chars = kernel if not hasattr(kernel, "characteristics") else (
-            kernel.characteristics
-        )
         counters = self.apu.noise.perturb_counters(
             synthesize_counters(chars, config), rng
         )
@@ -150,6 +181,8 @@ class ProfilingLibrary:
             nbgpu_plane_w=nbgpu_sp.mean_power_w,
             counters=counters,
         )
+        if memo_key is not None:
+            _PROFILE_CACHE[memo_key] = (measurement, sampling_overhead)
         return self.database.record(
             uid, measurement, sampling_overhead_s=sampling_overhead
         )

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.core.predictor import KernelPrediction
 from repro.hardware.config import Configuration
 
@@ -63,17 +65,16 @@ def _energy_time_options(
 ) -> list[tuple[float, float, Configuration]]:
     """A kernel's Pareto-optimal (energy, time, config) options, sorted
     by ascending energy with strictly decreasing time."""
-    raw = []
-    for cfg, (pw, perf) in prediction.predictions.items():
-        t = 1.0 / perf
-        raw.append((pw * t, t, cfg))
-    raw.sort(key=lambda x: (x[0], x[1]))
+    t = 1.0 / prediction.performance_array
+    e = prediction.power_array * t
+    order = np.lexsort((t, e))  # stable (energy, time) sort
+    configs = prediction.config_tuple
     frontier: list[tuple[float, float, Configuration]] = []
     best_t = float("inf")
-    for e, t, cfg in raw:
-        if t < best_t:
-            frontier.append((e, t, cfg))
-            best_t = t
+    for i in order:
+        if t[i] < best_t:
+            frontier.append((float(e[i]), float(t[i]), configs[i]))
+            best_t = t[i]
     return frontier
 
 
