@@ -20,7 +20,10 @@ power/performance model and every substrate it depends on:
   Model+FL, CPU+FL, GPU+FL, and the oracle);
 * :mod:`repro.evaluation` — the paper's experimental harness
   (leave-one-benchmark-out cross-validation, under/over-limit metrics,
-  and renderers for every table and figure).
+  and renderers for every table and figure);
+* :mod:`repro.telemetry` — pipeline observability: metrics registry,
+  hierarchical span tracing, structured logging, and the
+  ``telemetry.json`` report (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 

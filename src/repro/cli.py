@@ -7,13 +7,21 @@ Gives the paper's workflow a shell-level surface::
     repro train -o model.json --exclude-benchmark LU
     repro predict -m model.json LU/Small/LUDecomposition --cap 20
     repro evaluate --seed 0              # Table III end to end
+    repro eval --telemetry-out t.json    # ... plus the telemetry report
+    repro telemetry t.json               # pretty-print a saved report
 
 Every command is deterministic given ``--seed``.
+
+Output discipline: stdout carries machine-readable results only
+(tables, timelines, artifact listings); progress and diagnostics go
+through the structured logger on stderr (``--log-level``,
+``--log-json``, ``--quiet`` — see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -33,9 +41,19 @@ from repro.evaluation import (
 )
 from repro.hardware import NoiseModel, TrinityAPU
 from repro.profiling import ProfilingLibrary
+from repro.telemetry import (
+    configure_logging,
+    get_logger,
+    load_telemetry,
+    log_event,
+    render_telemetry,
+    write_telemetry,
+)
 from repro.workloads import build_suite
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master random seed (default 0)"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="stderr log verbosity (default info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of human-readable text",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress logging (errors only); "
+        "stdout results are unaffected",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -92,8 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling goal (default: performance)",
     )
 
+    telemetry_help = (
+        "write the run's telemetry report (span tree + metrics) to this "
+        "JSON path"
+    )
+
     p_eval = sub.add_parser(
-        "evaluate", help="full leave-one-benchmark-out method comparison"
+        "evaluate",
+        aliases=["eval"],
+        help="full leave-one-benchmark-out method comparison",
     )
     p_eval.add_argument(
         "--no-freq-limiting",
@@ -107,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="folds to evaluate concurrently (-1 = one per CPU); "
         "results are identical for any value",
     )
+    p_eval.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
     p_acc = sub.add_parser(
         "accuracy", help="cross-validated prediction accuracy (MAPE, rank tau)"
@@ -117,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="folds to evaluate concurrently (-1 = one per CPU)",
     )
+    p_acc.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
     p_rt = sub.add_parser(
         "runtime", help="run one application under a power cap, print timeline"
@@ -126,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument(
         "--timesteps", type=int, default=6, help="timesteps to execute"
     )
+    p_rt.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
     p_report = sub.add_parser(
         "report",
@@ -140,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="cross-validation folds to run concurrently (-1 = one per CPU)",
     )
+    p_report.add_argument("--telemetry-out", default=None, help=telemetry_help)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="pretty-print a saved telemetry report"
+    )
+    p_tel.add_argument("path", help="telemetry JSON path (from --telemetry-out)")
     return parser
 
 
@@ -173,7 +225,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if not kernels:
         print("error: exclusion leaves no training kernels", file=sys.stderr)
         return 2
-    print(f"Characterizing {len(kernels)} kernels on all configurations ...")
+    log_event(
+        _log,
+        logging.INFO,
+        "characterizing",
+        kernels=len(kernels),
+        excluded=args.exclude_benchmark,
+    )
     model = train_model(
         library,
         kernels,
@@ -214,11 +272,19 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    print("Running leave-one-benchmark-out evaluation (~10 s) ...")
+    log_event(
+        _log,
+        logging.INFO,
+        "loocv-start",
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        freq_limiting=not args.no_freq_limiting,
+    )
     report = run_loocv(
         seed=args.seed,
         include_freq_limiting=not args.no_freq_limiting,
         n_jobs=args.n_jobs,
+        telemetry_out=args.telemetry_out,
     )
     print(render_table3(summarize(report.records), title="Methods vs oracle:"))
     t = report.timings
@@ -227,15 +293,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         f"evaluate {t.evaluate_s:.1f} s, wall {t.wall_s:.1f} s "
         f"(n_jobs={t.n_jobs})"
     )
+    if args.telemetry_out is not None:
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
     return 0
 
 
 def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.evaluation import evaluate_prediction_accuracy
 
-    print("Scoring cross-validated prediction accuracy (~10 s) ...")
+    log_event(_log, logging.INFO, "accuracy-start", seed=args.seed, n_jobs=args.n_jobs)
     report = evaluate_prediction_accuracy(seed=args.seed, n_jobs=args.n_jobs)
     print(report.summary())
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
     return 0
 
 
@@ -247,7 +318,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     benchmark = app.kernels[0].benchmark
     apu = TrinityAPU(seed=args.seed)
     library = ProfilingLibrary(apu, seed=args.seed)
-    print(f"Training model without {benchmark} ...")
+    log_event(_log, logging.INFO, "training-model", excluded=benchmark)
     model = train_model(
         library, [k for k in suite if k.benchmark != benchmark]
     )
@@ -255,6 +326,9 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     trace = runtime.run(app, args.timesteps, args.cap)
     print(trace.render_timeline())
     print(trace.summary())
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
     return 0
 
 
@@ -270,7 +344,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
-    print("Regenerating every paper artifact (~20 s) ...")
+    log_event(_log, logging.INFO, "report-start", output_dir=str(out))
     singles = [
         experiment_fig2_table1_frontier(seed=args.seed),
         experiment_fig3_tree(seed=args.seed),
@@ -288,6 +362,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"Wrote {len(written)} artifacts to {out}/:")
     for name in written:
         print(f"  {name}")
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    try:
+        data = load_telemetry(args.path)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(render_telemetry(data))
     return 0
 
 
@@ -297,15 +384,20 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "evaluate": _cmd_evaluate,
+    "eval": _cmd_evaluate,
     "accuracy": _cmd_accuracy,
     "runtime": _cmd_runtime,
     "report": _cmd_report,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(
+        level=args.log_level, json_mode=args.log_json, quiet=args.quiet
+    )
     try:
         return _COMMANDS[args.command](args)
     except KeyError as e:

@@ -20,6 +20,7 @@ from repro.cluster.allocation import (
     uniform_allocation,
 )
 from repro.cluster.node import ClusterNode, NodeFrontier
+from repro.constants import respects_cap
 from repro.runtime.trace import ApplicationTrace
 
 __all__ = ["EpochResult", "ClusterReport", "ClusterPowerManager"]
@@ -60,8 +61,9 @@ class EpochResult:
 
     @property
     def within_budget(self) -> bool:
-        """Whether realized cluster power met the epoch budget."""
-        return self.cluster_power_w <= self.budget_w * (1.0 + 1e-9)
+        """Whether realized cluster power met the epoch budget (shared
+        :data:`repro.constants.CAP_EPSILON` tolerance)."""
+        return respects_cap(self.cluster_power_w, self.budget_w)
 
     @property
     def aggregate_rate(self) -> float:

@@ -1,0 +1,22 @@
+"""Shared numeric constants of the reproduction.
+
+Kept dependency-free so every layer (hardware, runtime, evaluation,
+cluster) can import them without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CAP_EPSILON", "respects_cap"]
+
+#: Relative tolerance for power-cap compliance checks.  A method (or
+#: the oracle itself) that picks a configuration whose true power
+#: exactly equals the cap must count as under-limit despite float
+#: round-off, so every cap comparison in the codebase allows the cap
+#: times ``1 + CAP_EPSILON``.
+CAP_EPSILON: float = 1e-9
+
+
+def respects_cap(power_w: float, cap_w: float) -> bool:
+    """Whether ``power_w`` respects the cap ``cap_w`` (watts), using the
+    shared relative tolerance :data:`CAP_EPSILON`."""
+    return power_w <= cap_w * (1.0 + CAP_EPSILON)

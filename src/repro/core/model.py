@@ -42,10 +42,15 @@ from repro.core.regression import ClusterModels, Transform, fit_cluster_models
 from repro.hardware.apu import Measurement
 from repro.hardware.config import ConfigSpace
 from repro.profiling.library import ProfilingLibrary
+from repro.telemetry import get_logger, log_event, trace_span
+
+import logging
 
 import numpy as np
 
 __all__ = ["AdaptiveModel", "train_model"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -114,34 +119,47 @@ class AdaptiveModel:
         if len(set(uids)) != len(uids):
             raise ValueError("duplicate kernel uids in training set")
 
-        frontiers = {c.kernel_uid: c.frontier() for c in characterizations}
-        clustering = cluster_kernels(
-            frontiers,
-            n_clusters=n_clusters,
-            method=clustering_method,
-            composition_weight=composition_weight,
-            dissimilarity=dissimilarity,
+        with trace_span("offline/frontier"):
+            frontiers = {c.kernel_uid: c.frontier() for c in characterizations}
+        with trace_span("offline/cluster"):
+            clustering = cluster_kernels(
+                frontiers,
+                n_clusters=n_clusters,
+                method=clustering_method,
+                composition_weight=composition_weight,
+                dissimilarity=dissimilarity,
+            )
+        log_event(
+            _log,
+            logging.DEBUG,
+            "cluster-assignments",
+            n_kernels=len(characterizations),
+            sizes=clustering.sizes(),
+            silhouette=round(clustering.silhouette, 4),
+            labels=dict(sorted(clustering.labels.items())),
         )
 
         by_cluster: dict[int, list[KernelCharacterization]] = {}
         for c in characterizations:
             by_cluster.setdefault(clustering.labels[c.kernel_uid], []).append(c)
-        cluster_models = {
-            cluster: fit_cluster_models(
-                members,
-                transform=transform,
-                power_anchor=power_anchor,
-                ridge=ridge,
-            )
-            for cluster, members in sorted(by_cluster.items())
-        }
+        with trace_span("offline/regression"):
+            cluster_models = {
+                cluster: fit_cluster_models(
+                    members,
+                    transform=transform,
+                    power_anchor=power_anchor,
+                    ridge=ridge,
+                )
+                for cluster, members in sorted(by_cluster.items())
+            }
 
-        classifier = ClusterClassifier(
-            max_depth=tree_max_depth, min_samples_leaf=tree_min_samples_leaf
-        ).fit(
-            characterizations,
-            [clustering.labels[c.kernel_uid] for c in characterizations],
-        )
+        with trace_span("offline/cart"):
+            classifier = ClusterClassifier(
+                max_depth=tree_max_depth, min_samples_leaf=tree_min_samples_leaf
+            ).fit(
+                characterizations,
+                [clustering.labels[c.kernel_uid] for c in characterizations],
+            )
         return AdaptiveModel(
             clustering=clustering,
             cluster_models=cluster_models,
@@ -166,7 +184,8 @@ class AdaptiveModel:
         per-configuration prediction standard deviations (paper
         Section VI), enabling risk-averse scheduling.
         """
-        cluster = self.classifier.predict(cpu_sample, gpu_sample)
+        with trace_span("online/classify"):
+            cluster = self.classifier.predict(cpu_sample, gpu_sample)
         models = self.cluster_models[cluster]
         table = self._table
         power = table.assemble(

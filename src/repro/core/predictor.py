@@ -34,6 +34,7 @@ from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
 from repro.hardware.apu import Measurement
 from repro.hardware.config import Configuration
 from repro.profiling.library import ProfilingLibrary
+from repro.telemetry import trace_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import AdaptiveModel
@@ -294,11 +295,13 @@ class OnlinePredictor:
     def predict(self, kernel, *, with_uncertainty: bool = False) -> KernelPrediction:
         """Run the two sample iterations of ``kernel`` and predict power
         and performance for every configuration."""
-        cpu_profile = self.library.profile(kernel, CPU_SAMPLE)
-        gpu_profile = self.library.profile(kernel, GPU_SAMPLE)
-        return self.model.predict_kernel(
-            cpu_profile.measurement,
-            gpu_profile.measurement,
-            kernel_uid=cpu_profile.kernel_uid,
-            with_uncertainty=with_uncertainty,
-        )
+        with trace_span("online/sample"):
+            cpu_profile = self.library.profile(kernel, CPU_SAMPLE)
+            gpu_profile = self.library.profile(kernel, GPU_SAMPLE)
+        with trace_span("online/predict"):
+            return self.model.predict_kernel(
+                cpu_profile.measurement,
+                gpu_profile.measurement,
+                kernel_uid=cpu_profile.kernel_uid,
+                with_uncertainty=with_uncertainty,
+            )

@@ -24,6 +24,7 @@ in prediction order wins.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
@@ -31,8 +32,17 @@ import numpy as np
 
 from repro.core.predictor import KernelPrediction
 from repro.hardware.config import Configuration
+from repro.telemetry import counter, get_logger, log_event, trace_span
 
 __all__ = ["SchedulingGoal", "SchedulerDecision", "Scheduler"]
+
+_log = get_logger(__name__)
+
+# Selection accounting (see docs/OBSERVABILITY.md): every committed
+# decision counts once; fallbacks are the subset where no configuration
+# was predicted cap-feasible.
+_SELECTIONS = counter("scheduler.selections")
+_FALLBACKS = counter("scheduler.infeasible_fallbacks")
 
 SchedulingGoal = Literal["performance", "energy", "edp"]
 
@@ -148,12 +158,39 @@ class Scheduler:
         i: int,
         feasible: bool,
     ) -> SchedulerDecision:
-        return SchedulerDecision(
+        _SELECTIONS.inc()
+        if not feasible:
+            _FALLBACKS.inc()
+        return self._build_decision(
+            prediction, i, feasible, _log.isEnabledFor(logging.DEBUG)
+        )
+
+    def _build_decision(
+        self,
+        prediction: KernelPrediction,
+        i: int,
+        feasible: bool,
+        log_debug: bool,
+    ) -> SchedulerDecision:
+        decision = SchedulerDecision(
             config=prediction.config_at(i),
             predicted_power_w=float(prediction.power_array[i]),
             predicted_performance=float(prediction.performance_array[i]),
             predicted_feasible=feasible,
         )
+        if log_debug:
+            log_event(
+                _log,
+                logging.DEBUG,
+                "scheduler-decision",
+                kernel=prediction.kernel_uid,
+                goal=self.goal,
+                config=decision.config.label(),
+                predicted_power_w=round(decision.predicted_power_w, 3),
+                predicted_performance=round(decision.predicted_performance, 4),
+                feasible=feasible,
+            )
+        return decision
 
     @staticmethod
     def _validate_selection_args(
@@ -211,21 +248,24 @@ class Scheduler:
         risk_margin = self._resolve_margin(risk_margin)
         self._validate_selection_args(prediction, risk_averse, confidence_z)
 
-        effective_cap = power_cap_w * (1.0 - risk_margin)
-        pw_bound, perf_bound = self._bounds(prediction, risk_averse, confidence_z)
-        feasible = pw_bound <= effective_cap
-        feasible_idx = np.flatnonzero(feasible)
-        if feasible_idx.size:
-            scores = _objective_array(
-                self.goal, pw_bound[feasible_idx], perf_bound[feasible_idx]
+        with trace_span("online/select"):
+            effective_cap = power_cap_w * (1.0 - risk_margin)
+            pw_bound, perf_bound = self._bounds(
+                prediction, risk_averse, confidence_z
             )
-            # argmax returns the first maximum: earliest prediction
-            # order wins ties, like the scalar loop's strict '>'.
-            i = int(feasible_idx[np.argmax(scores)])
-            return self._decision(prediction, i, True)
-        # Fallback: minimize (bounded) predicted power.
-        i = int(np.argmin(pw_bound))
-        return self._decision(prediction, i, False)
+            feasible = pw_bound <= effective_cap
+            feasible_idx = np.flatnonzero(feasible)
+            if feasible_idx.size:
+                scores = _objective_array(
+                    self.goal, pw_bound[feasible_idx], perf_bound[feasible_idx]
+                )
+                # argmax returns the first maximum: earliest prediction
+                # order wins ties, like the scalar loop's strict '>'.
+                i = int(feasible_idx[np.argmax(scores)])
+                return self._decision(prediction, i, True)
+            # Fallback: minimize (bounded) predicted power.
+            i = int(np.argmin(pw_bound))
+            return self._decision(prediction, i, False)
 
     def select_many(
         self,
@@ -252,30 +292,45 @@ class Scheduler:
         risk_margin = self._resolve_margin(risk_margin)
         self._validate_selection_args(prediction, risk_averse, confidence_z)
 
-        pw_bound, perf_bound = self._bounds(prediction, risk_averse, confidence_z)
-        scores = _objective_array(self.goal, pw_bound, perf_bound)
+        with trace_span("online/select"):
+            pw_bound, perf_bound = self._bounds(
+                prediction, risk_averse, confidence_z
+            )
+            scores = _objective_array(self.goal, pw_bound, perf_bound)
 
-        # Prefix scan in ascending bounded-power order: best_at[j] is
-        # the winner among the j+1 lowest-power configurations, breaking
-        # score ties toward the earliest prediction index (the scalar
-        # loop's iteration-order semantics).
-        order = np.argsort(pw_bound, kind="stable")
-        sorted_pw = pw_bound[order]
-        best_at = np.empty(order.size, dtype=np.intp)
-        best_i = -1
-        best_score = -np.inf
-        for pos, j in enumerate(order):
-            s = scores[j]
-            if best_i < 0 or s > best_score or (s == best_score and j < best_i):
-                best_i, best_score = int(j), s
-            best_at[pos] = best_i
-        fallback_i = int(np.argmin(pw_bound))
+            # Prefix scan in ascending bounded-power order: best_at[j] is
+            # the winner among the j+1 lowest-power configurations, breaking
+            # score ties toward the earliest prediction index (the scalar
+            # loop's iteration-order semantics).
+            order = np.argsort(pw_bound, kind="stable")
+            sorted_pw = pw_bound[order]
+            best_at = np.empty(order.size, dtype=np.intp)
+            best_i = -1
+            best_score = -np.inf
+            for pos, j in enumerate(order):
+                s = scores[j]
+                if best_i < 0 or s > best_score or (s == best_score and j < best_i):
+                    best_i, best_score = int(j), s
+                best_at[pos] = best_i
+            fallback_i = int(np.argmin(pw_bound))
 
-        effective_caps = caps * (1.0 - risk_margin)
-        cut = np.searchsorted(sorted_pw, effective_caps, side="right")
-        return [
-            self._decision(prediction, int(best_at[c - 1]), True)
-            if c > 0
-            else self._decision(prediction, fallback_i, False)
-            for c in cut
-        ]
+            effective_caps = caps * (1.0 - risk_margin)
+            cut = np.searchsorted(sorted_pw, effective_caps, side="right")
+            # Counters update in bulk (one lock acquisition per sweep, not
+            # per cap) so instrumentation stays off the per-decision path.
+            log_debug = _log.isEnabledFor(logging.DEBUG)
+            decisions = [
+                self._build_decision(
+                    prediction, int(best_at[c - 1]), True, log_debug
+                )
+                if c > 0
+                else self._build_decision(
+                    prediction, fallback_i, False, log_debug
+                )
+                for c in cut
+            ]
+            _SELECTIONS.inc(int(caps.size))
+            infeasible = int(np.count_nonzero(cut == 0))
+            if infeasible:
+                _FALLBACKS.inc(infeasible)
+            return decisions

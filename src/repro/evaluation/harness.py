@@ -10,21 +10,21 @@ under-limit and over-limit cases.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.constants import respects_cap
 from repro.hardware.apu import TrinityAPU
 from repro.hardware.config import Configuration
 from repro.methods.base import PowerLimitMethod
 from repro.methods.oracle import Oracle
+from repro.telemetry import counter, get_logger, log_event, trace_span
 from repro.workloads.kernel import Kernel
 
 __all__ = ["CapEvaluation", "evaluate_kernel", "evaluate_suite"]
 
-#: Relative tolerance when testing cap compliance: a method that picks
-#: the oracle's own configuration measures power exactly equal to the
-#: cap and must count as under-limit.
-_CAP_RTOL: float = 1e-9
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -52,8 +52,11 @@ class CapEvaluation:
 
     @property
     def under_limit(self) -> bool:
-        """Whether the method's true power respects the cap."""
-        return self.power_w <= self.power_cap_w * (1.0 + _CAP_RTOL)
+        """Whether the method's true power respects the cap (shared
+        :data:`repro.constants.CAP_EPSILON` tolerance: a method that
+        picks the oracle's own configuration measures power exactly
+        equal to the cap and must count as under-limit)."""
+        return respects_cap(self.power_w, self.power_cap_w)
 
     @property
     def perf_vs_oracle(self) -> float:
@@ -95,45 +98,70 @@ def evaluate_kernel(
     if not cap_list:
         raise ValueError("no power caps to evaluate")
 
-    for method in methods:
-        method.prepare(kernel)
+    with trace_span("online/evaluate"):
+        for method in methods:
+            method.prepare(kernel)
 
-    # Batched cap selection: each method answers the whole sweep at
-    # once (model-based methods in a single array pass, stateful
-    # baselines via their sequential default).  Per-method decision
-    # sequences are identical to the historical per-cap loop — each
-    # method still sees its caps in order on its own noise stream — so
-    # the records below are bit-identical, merely gathered per method
-    # first and then laid out cap-major as before.
-    oracle_decisions = oracle.decide_many(kernel, cap_list)
-    method_decisions = [method.decide_many(kernel, cap_list) for method in methods]
+        # Batched cap selection: each method answers the whole sweep at
+        # once (model-based methods in a single array pass, stateful
+        # baselines via their sequential default).  Per-method decision
+        # sequences are identical to the historical per-cap loop — each
+        # method still sees its caps in order on its own noise stream — so
+        # the records below are bit-identical, merely gathered per method
+        # first and then laid out cap-major as before.
+        oracle_decisions = oracle.decide_many(kernel, cap_list)
+        method_decisions = [
+            method.decide_many(kernel, cap_list) for method in methods
+        ]
 
-    truth = apu.true_table(kernel)
-    records: list[CapEvaluation] = []
-    for ci, cap in enumerate(cap_list):
-        oracle_cfg = oracle_decisions[ci].config
-        o_power, o_perf = truth[oracle_cfg]
-        for method, decisions in zip(methods, method_decisions):
-            decision = decisions[ci]
-            cfg = decision.config
-            power_w, performance = truth[cfg]
-            records.append(
-                CapEvaluation(
-                    kernel_uid=kernel.uid,
-                    benchmark=kernel.benchmark,
-                    group=kernel.group,
-                    time_weight=kernel.time_weight,
-                    method=method.name,
-                    power_cap_w=cap,
-                    config=cfg,
-                    power_w=power_w,
-                    performance=performance,
-                    oracle_config=oracle_cfg,
-                    oracle_power_w=o_power,
-                    oracle_performance=o_perf,
-                    online_runs=decision.online_runs,
+        truth = apu.true_table(kernel)
+        records: list[CapEvaluation] = []
+        violations: dict[str, int] = {m.name: 0 for m in methods}
+        log_debug = _log.isEnabledFor(logging.DEBUG)
+        for ci, cap in enumerate(cap_list):
+            oracle_cfg = oracle_decisions[ci].config
+            o_power, o_perf = truth[oracle_cfg]
+            for method, decisions in zip(methods, method_decisions):
+                decision = decisions[ci]
+                cfg = decision.config
+                power_w, performance = truth[cfg]
+                if not respects_cap(power_w, cap):
+                    violations[method.name] += 1
+                    if log_debug:
+                        log_event(
+                            _log,
+                            logging.DEBUG,
+                            "cap-violation",
+                            kernel=kernel.uid,
+                            method=method.name,
+                            cap_w=round(cap, 3),
+                            power_w=round(power_w, 3),
+                            config=cfg.label(),
+                        )
+                records.append(
+                    CapEvaluation(
+                        kernel_uid=kernel.uid,
+                        benchmark=kernel.benchmark,
+                        group=kernel.group,
+                        time_weight=kernel.time_weight,
+                        method=method.name,
+                        power_cap_w=cap,
+                        config=cfg,
+                        power_w=power_w,
+                        performance=performance,
+                        oracle_config=oracle_cfg,
+                        oracle_power_w=o_power,
+                        oracle_performance=o_perf,
+                        online_runs=decision.online_runs,
+                    )
                 )
-            )
+        # Per-method selection and cap-violation accounting (the
+        # telemetry view behind the paper's %-under-limit columns).
+        for method in methods:
+            counter(f"harness.records.{method.name}").inc(len(cap_list))
+            over = violations[method.name]
+            if over:
+                counter(f"harness.cap_violations.{method.name}").inc(over)
     return records
 
 

@@ -23,9 +23,11 @@ noise stream is spawned per fold from one :class:`numpy.random.SeedSequence`.
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -38,9 +40,19 @@ from repro.methods.model_method import ModelMethod, ModelPlusFL
 from repro.methods.oracle import Oracle
 from repro.profiling.library import ProfilingLibrary
 from repro.profiling.store import CharacterizationStore
+from repro.telemetry import (
+    get_logger,
+    get_tracer,
+    histogram,
+    log_event,
+    trace_span,
+    write_telemetry,
+)
 from repro.workloads.suite import Suite, build_suite
 
 __all__ = ["LOOCVReport", "LOOCVTimings", "run_loocv", "resolve_n_jobs"]
+
+_log = get_logger(__name__)
 
 
 def resolve_n_jobs(n_jobs: int) -> int:
@@ -62,6 +74,11 @@ class LOOCVTimings:
     (near zero when the shared store is already warm); ``train_s`` and
     ``evaluate_s`` are summed across folds, so under ``n_jobs > 1`` they
     can exceed ``wall_s``.
+
+    This is the legacy numeric view; the telemetry span tree
+    (:func:`repro.telemetry.telemetry_snapshot`, written by
+    ``telemetry_out=``) subsumes it with the full per-phase hierarchy —
+    see ``docs/OBSERVABILITY.md``.
     """
 
     profile_s: float = 0.0
@@ -104,6 +121,7 @@ def run_loocv(
     include_freq_limiting: bool = True,
     n_jobs: int = 1,
     store: CharacterizationStore | None = None,
+    telemetry_out: str | Path | None = None,
 ) -> LOOCVReport:
     """Run the paper's full cross-validated method comparison.
 
@@ -135,6 +153,10 @@ def run_loocv(
         to the process-wide shared store for ``(suite, seed)``, which
         makes repeated calls (ablations, sweeps) profile the suite only
         once.
+    telemetry_out:
+        Optional path: write the process's ``telemetry.json`` snapshot
+        (span tree + metrics) after the run.  Telemetry only observes —
+        records are bit-identical with it enabled, disabled, or written.
 
     Returns
     -------
@@ -147,64 +169,86 @@ def run_loocv(
         store = CharacterizationStore.shared(suite, seed=seed)
     report = LOOCVReport()
     wall_start = time.perf_counter()
-
-    # Profile-once: the full suite is characterized up front (a warm
-    # shared store makes this free); folds only slice from it.
-    t0 = time.perf_counter()
-    store.characterize(list(suite))
-    report.timings.profile_s = time.perf_counter() - t0
+    fold_hist = histogram("loocv.fold_s")
 
     benchmarks = list(suite.benchmarks())
     fold_streams = np.random.SeedSequence(seed).spawn(len(benchmarks))
 
     def run_fold(fold_i: int, benchmark: str):
-        online_ss, mfl_ss, cpufl_ss, gpufl_ss = fold_streams[fold_i].spawn(4)
-        train_kernels = [k for k in suite if k.benchmark != benchmark]
-        test_kernels = suite.for_benchmark(benchmark)
+        with trace_span("fold"), fold_hist.time():
+            online_ss, mfl_ss, cpufl_ss, gpufl_ss = fold_streams[fold_i].spawn(4)
+            train_kernels = [k for k in suite if k.benchmark != benchmark]
+            test_kernels = suite.for_benchmark(benchmark)
 
-        t0 = time.perf_counter()
-        characterizations = store.characterize(train_kernels)
-        dissimilarity = store.dissimilarity_submatrix(
-            train_kernels, composition_weight=composition_weight
-        )
-        model = AdaptiveModel.train(
-            characterizations,
-            n_clusters=n_clusters,
-            transform=transform,
-            power_anchor=power_anchor,
-            composition_weight=composition_weight,
-            ridge=ridge,
-            tree_max_depth=tree_max_depth,
-            dissimilarity=dissimilarity,
-        )
-        train_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            characterizations = store.characterize(train_kernels)
+            dissimilarity = store.dissimilarity_submatrix(
+                train_kernels, composition_weight=composition_weight
+            )
+            with trace_span("offline/train"):
+                model = AdaptiveModel.train(
+                    characterizations,
+                    n_clusters=n_clusters,
+                    transform=transform,
+                    power_anchor=power_anchor,
+                    composition_weight=composition_weight,
+                    ridge=ridge,
+                    tree_max_depth=tree_max_depth,
+                    dissimilarity=dissimilarity,
+                )
+            train_s = time.perf_counter() - t0
 
-        online_library = ProfilingLibrary(apu, seed=online_ss)
-        scheduler = Scheduler(risk_margin=risk_margin)
-        methods = [
-            ModelMethod(model, online_library, scheduler=scheduler),
-            ModelPlusFL(
-                model, online_library, scheduler=scheduler, seed=mfl_ss
-            ),
-        ]
-        if include_freq_limiting:
-            methods.append(CpuFrequencyLimiting(apu, seed=cpufl_ss))
-            methods.append(GpuFrequencyLimiting(apu, seed=gpufl_ss))
+            online_library = ProfilingLibrary(apu, seed=online_ss)
+            scheduler = Scheduler(risk_margin=risk_margin)
+            methods = [
+                ModelMethod(model, online_library, scheduler=scheduler),
+                ModelPlusFL(
+                    model, online_library, scheduler=scheduler, seed=mfl_ss
+                ),
+            ]
+            if include_freq_limiting:
+                methods.append(CpuFrequencyLimiting(apu, seed=cpufl_ss))
+                methods.append(GpuFrequencyLimiting(apu, seed=gpufl_ss))
 
-        t0 = time.perf_counter()
-        records = evaluate_suite(apu, oracle, methods, test_kernels)
-        evaluate_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            records = evaluate_suite(apu, oracle, methods, test_kernels)
+            evaluate_s = time.perf_counter() - t0
+            log_event(
+                _log,
+                logging.INFO,
+                "fold-complete",
+                fold=fold_i,
+                benchmark=benchmark,
+                test_kernels=len(test_kernels),
+                records=len(records),
+                train_s=round(train_s, 3),
+                evaluate_s=round(evaluate_s, 3),
+            )
         return benchmark, model, records, train_s, evaluate_s
 
-    jobs = resolve_n_jobs(n_jobs)
-    report.timings.n_jobs = jobs
-    if jobs == 1:
-        fold_results = [run_fold(i, b) for i, b in enumerate(benchmarks)]
-    else:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            fold_results = list(
-                pool.map(run_fold, range(len(benchmarks)), benchmarks)
-            )
+    tracer = get_tracer()
+    with trace_span("loocv") as loocv_node:
+        # Profile-once: the full suite is characterized up front (a warm
+        # shared store makes this free); folds only slice from it.
+        t0 = time.perf_counter()
+        store.characterize(list(suite))
+        report.timings.profile_s = time.perf_counter() - t0
+
+        jobs = resolve_n_jobs(n_jobs)
+        report.timings.n_jobs = jobs
+        if jobs == 1:
+            fold_results = [run_fold(i, b) for i, b in enumerate(benchmarks)]
+        else:
+            # Worker threads open their fold spans on empty span stacks;
+            # the fallback parent hangs them under this run's loocv node.
+            tracer.set_fallback(loocv_node)
+            try:
+                with ThreadPoolExecutor(max_workers=jobs) as pool:
+                    fold_results = list(
+                        pool.map(run_fold, range(len(benchmarks)), benchmarks)
+                    )
+            finally:
+                tracer.set_fallback(None)
 
     for benchmark, model, records, train_s, evaluate_s in fold_results:
         report.fold_models[benchmark] = model
@@ -212,4 +256,15 @@ def run_loocv(
         report.timings.train_s += train_s
         report.timings.evaluate_s += evaluate_s
     report.timings.wall_s = time.perf_counter() - wall_start
+    log_event(
+        _log,
+        logging.INFO,
+        "loocv-complete",
+        folds=len(benchmarks),
+        records=len(report.records),
+        wall_s=round(report.timings.wall_s, 3),
+        n_jobs=report.timings.n_jobs,
+    )
+    if telemetry_out is not None:
+        write_telemetry(telemetry_out)
     return report

@@ -36,6 +36,7 @@ from repro.hardware.kernelmodel import (
 from repro.hardware.noise import NoiseModel
 from repro.hardware.power import PowerBreakdown, PowerModelConstants, power_w
 from repro.hardware.thermal import BoostPolicy
+from repro.telemetry import counter, gauge
 
 __all__ = ["Measurement", "TrinityAPU"]
 
@@ -92,6 +93,16 @@ class Measurement:
 _TRUTH_CACHES: dict[PowerModelConstants, tuple[dict, dict, dict]] = {}
 _TRUTH_TABLE_CACHES: dict[PowerModelConstants, dict] = {}
 _TEMPLATE_CACHES: dict[tuple[PowerModelConstants, NoiseModel], dict] = {}
+
+# Hit/miss accounting for the two memo families this module owns (see
+# docs/OBSERVABILITY.md).  Instruments are fetched once here; their
+# .inc() is a flag check when telemetry is disabled.
+_TT_HITS = counter("cache.truth_table.hits")
+_TT_MISSES = counter("cache.truth_table.misses")
+_TT_SIZE = gauge("cache.truth_table.size")
+_TPL_HITS = counter("cache.measurement_template.hits")
+_TPL_MISSES = counter("cache.measurement_template.misses")
+_TPL_SIZE = gauge("cache.measurement_template.size")
 
 
 def _truth_caches(
@@ -282,8 +293,12 @@ class TrinityAPU:
                 _TRUTH_TABLE_CACHES[self.power_constants] = tables
             table = tables.get(chars)
             if table is None:
+                _TT_MISSES.inc()
                 table = self._build_true_table(chars)
                 tables[chars] = table
+                _TT_SIZE.set(len(tables))
+            else:
+                _TT_HITS.inc()
             return table
         return self._build_true_table(chars)
 
@@ -324,12 +339,16 @@ class TrinityAPU:
         if self.boost is None and self._noise_mode != "scalar":
             tpl = self._meas_cache.get((chars, cfg))
             if tpl is None:
+                _TPL_MISSES.inc()
                 if cfg not in self.config_space:
                     raise ValueError(
                         f"{cfg} is not a valid configuration for this machine"
                     )
                 tpl = self._measurement_template(chars, cfg)
                 self._meas_cache[(chars, cfg)] = tpl
+                _TPL_SIZE.set(len(self._meas_cache))
+            else:
+                _TPL_HITS.inc()
             names, t_true, cpu_true, nbgpu_true, counter_vals = tpl
             if self._noise_mode == "vector":
                 # Same draw sequence as the legacy scalar path — one time

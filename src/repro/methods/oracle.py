@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.frontier import ParetoFrontier
 from repro.hardware.apu import TrinityAPU
 from repro.methods.base import MethodDecision, PowerLimitMethod
+from repro.telemetry import counter, gauge
 
 __all__ = ["Oracle"]
 
@@ -25,6 +26,11 @@ __all__ = ["Oracle"]
 #: run; sharing the memo keeps repeated runs from re-deriving identical
 #: frontiers.
 _FRONTIER_CACHE: dict[tuple, ParetoFrontier] = {}
+
+# Hit/miss accounting for the frontier memo (see docs/OBSERVABILITY.md).
+_FRONTIER_HITS = counter("cache.oracle_frontier.hits")
+_FRONTIER_MISSES = counter("cache.oracle_frontier.misses")
+_FRONTIER_SIZE = gauge("cache.oracle_frontier.size")
 
 
 class Oracle(PowerLimitMethod):
@@ -49,8 +55,12 @@ class Oracle(PowerLimitMethod):
             key = (self.apu.power_constants, chars)
             frontier = _FRONTIER_CACHE.get(key)
             if frontier is None:
+                _FRONTIER_MISSES.inc()
                 frontier = self._build_frontier(kernel)
                 _FRONTIER_CACHE[key] = frontier
+                _FRONTIER_SIZE.set(len(_FRONTIER_CACHE))
+            else:
+                _FRONTIER_HITS.inc()
             return frontier
         key = id(kernel)
         if key not in self._frontiers:

@@ -37,6 +37,7 @@ from repro.hardware.config import Configuration
 from repro.hardware.counters import synthesize_counters
 from repro.profiling.records import KernelProfile, ProfileDatabase
 from repro.profiling.sampler import PowerSampler
+from repro.telemetry import counter, gauge
 
 __all__ = ["ProfilingLibrary"]
 
@@ -53,6 +54,11 @@ COUNTER_READ_OVERHEAD_S: float = 50e-6
 #: sampled traces.  Bypassed when the machine has boost enabled (truth
 #: may carry thermal state).
 _PROFILE_CACHE: dict[tuple, tuple[Measurement, float]] = {}
+
+# Hit/miss accounting for the profile memo (see docs/OBSERVABILITY.md).
+_PROFILE_HITS = counter("cache.profile.hits")
+_PROFILE_MISSES = counter("cache.profile.misses")
+_PROFILE_SIZE = gauge("cache.profile.size")
 
 
 def _run_key(kernel_uid: str, config: Configuration, repetition: int) -> list[int]:
@@ -152,10 +158,12 @@ class ProfilingLibrary:
             )
             cached = _PROFILE_CACHE.get(memo_key)
             if cached is not None:
+                _PROFILE_HITS.inc()
                 measurement, sampling_overhead = cached
                 return self.database.record(
                     uid, measurement, sampling_overhead_s=sampling_overhead
                 )
+            _PROFILE_MISSES.inc()
 
         rng = self._run_rng(uid, config, repetition)
         true_t = self.apu.true_time_s(kernel, config)
@@ -183,6 +191,7 @@ class ProfilingLibrary:
         )
         if memo_key is not None:
             _PROFILE_CACHE[memo_key] = (measurement, sampling_overhead)
+            _PROFILE_SIZE.set(len(_PROFILE_CACHE))
         return self.database.record(
             uid, measurement, sampling_overhead_s=sampling_overhead
         )

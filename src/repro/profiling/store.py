@@ -40,6 +40,7 @@ import numpy as np
 from repro.hardware.apu import TrinityAPU
 from repro.profiling.library import ProfilingLibrary
 from repro.profiling.sampler import PowerSampler
+from repro.telemetry import counter, trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> profiling)
     from repro.core.characterization import KernelCharacterization
@@ -53,6 +54,11 @@ _STORE_STREAM_TAG: int = 0x5F_C4A2_51ED
 
 #: Bound on the process-wide shared-store registry (FIFO eviction).
 _MAX_SHARED_STORES: int = 16
+
+# Registry-level accounting mirroring the per-store hit/miss fields, so
+# telemetry.json sees the stores without holding references to them.
+_STORE_HITS = counter("store.characterization.hits")
+_STORE_MISSES = counter("store.characterization.misses")
 
 
 def suite_fingerprint(kernels: Iterable) -> tuple:
@@ -124,8 +130,10 @@ class CharacterizationStore:
                         "separate store per suite"
                     )
                 self.hits += 1
+                _STORE_HITS.inc()
                 return cached
             self.misses += 1
+            _STORE_MISSES.inc()
             char = characterize_kernel(self.library, kernel)
             self._chars[uid] = char
             self._characteristics[uid] = kernel.characteristics
@@ -133,7 +141,8 @@ class CharacterizationStore:
 
     def characterize(self, kernels: Sequence) -> list["KernelCharacterization"]:
         """Characterizations for many kernels, in input order (cached)."""
-        return [self.characterization(k) for k in kernels]
+        with trace_span("offline/characterize"):
+            return [self.characterization(k) for k in kernels]
 
     # -- frontiers and dissimilarities -------------------------------------
 
@@ -168,7 +177,7 @@ class CharacterizationStore:
             if composition_weight is None
             else composition_weight
         )
-        with self._lock:
+        with trace_span("offline/dissimilarity"), self._lock:
             if self._diss_cache is None:
                 self._diss_cache = DissimilarityCache()
             for k in kernels:

@@ -29,8 +29,10 @@ best configuration per kernel per cap).
 
 from __future__ import annotations
 
+import logging
 from typing import Callable
 
+from repro.constants import respects_cap
 from repro.core.model import AdaptiveModel
 from repro.core.predictor import KernelPrediction
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
@@ -41,9 +43,18 @@ from repro.methods.oracle import Oracle
 from repro.profiling.library import ProfilingLibrary
 from repro.runtime.application import Application
 from repro.runtime.trace import ApplicationTrace, KernelExecution
+from repro.telemetry import counter, get_logger, log_event
 from repro.workloads.kernel import Kernel
 
 __all__ = ["AdaptiveRuntime", "StaticRuntime", "OracleRuntime", "CapSchedule"]
+
+_log = get_logger(__name__)
+
+# Runtime-level accounting (docs/OBSERVABILITY.md): one invocation per
+# kernel execution in the timestep loop; violations judge measured power
+# against the timestep's cap with the shared CAP_EPSILON tolerance.
+_INVOCATIONS = counter("runtime.invocations")
+_CAP_VIOLATIONS = counter("runtime.cap_violations")
 
 #: A power cap per timestep: constant, or a function of the timestep.
 CapSchedule = float | Callable[[int], float]
@@ -136,6 +147,20 @@ class AdaptiveRuntime:
                 cfg = self._limited[key]
         profile = self.library.profile(kernel, cfg)
         m = profile.measurement
+        _INVOCATIONS.inc()
+        if not respects_cap(m.total_power_w, cap):
+            _CAP_VIOLATIONS.inc()
+            log_event(
+                _log,
+                logging.DEBUG,
+                "runtime-cap-violation",
+                kernel=kernel.uid,
+                timestep=timestep,
+                phase=phase,
+                cap_w=round(cap, 3),
+                power_w=round(m.total_power_w, 3),
+                config=cfg.label(),
+            )
         return KernelExecution(
             timestep=timestep,
             kernel_uid=kernel.uid,

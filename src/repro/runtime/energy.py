@@ -24,6 +24,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.constants import respects_cap
 from repro.core.predictor import KernelPrediction
 from repro.hardware.config import Configuration
 
@@ -56,8 +57,9 @@ class EnergySchedule:
 
     @property
     def feasible(self) -> bool:
-        """Whether the predicted energy respects the budget."""
-        return self.predicted_energy_j <= self.budget_j * (1.0 + 1e-9)
+        """Whether the predicted energy respects the budget (shared
+        :data:`repro.constants.CAP_EPSILON` tolerance)."""
+        return respects_cap(self.predicted_energy_j, self.budget_j)
 
 
 def _energy_time_options(

@@ -9,9 +9,13 @@ energy, cap-violation rate) used by the application-level experiments.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TextIO
 
-from repro.hardware.config import Configuration
+from repro.constants import respects_cap
+from repro.hardware.config import Configuration, Device
 
 __all__ = ["KernelExecution", "ApplicationTrace"]
 
@@ -40,8 +44,47 @@ class KernelExecution:
 
     @property
     def under_cap(self) -> bool:
-        """Whether this invocation's power respected its cap."""
-        return self.power_w <= self.power_cap_w * (1.0 + 1e-9)
+        """Whether this invocation's power respected its cap (shared
+        :data:`repro.constants.CAP_EPSILON` tolerance)."""
+        return respects_cap(self.power_w, self.power_cap_w)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "timestep": self.timestep,
+            "kernel_uid": self.kernel_uid,
+            "config": {
+                "device": self.config.device.value,
+                "cpu_freq_ghz": self.config.cpu_freq_ghz,
+                "n_threads": self.config.n_threads,
+                "gpu_freq_ghz": self.config.gpu_freq_ghz,
+            },
+            "time_s": self.time_s,
+            "power_w": self.power_w,
+            "power_cap_w": self.power_cap_w,
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "KernelExecution":
+        """Rebuild an execution from :meth:`to_dict` output."""
+        c = d["config"]
+        return cls(
+            timestep=d["timestep"],
+            kernel_uid=d["kernel_uid"],
+            config=Configuration(
+                device=Device(c["device"]),
+                cpu_freq_ghz=c["cpu_freq_ghz"],
+                n_threads=c["n_threads"],
+                gpu_freq_ghz=c["gpu_freq_ghz"],
+            ),
+            time_s=d["time_s"],
+            power_w=d["power_w"],
+            power_cap_w=d["power_cap_w"],
+            phase=d["phase"],
+        )
 
 
 @dataclass
@@ -57,6 +100,40 @@ class ApplicationTrace:
 
     def __len__(self) -> int:
         return len(self.executions)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path | TextIO) -> None:
+        """Write the trace as JSON lines: a header line
+        ``{"application": ...}`` followed by one line per execution, in
+        execution order (inverse of :meth:`from_jsonl`)."""
+        lines = [json.dumps({"application": self.application}, sort_keys=True)]
+        lines.extend(
+            json.dumps(e.to_dict(), sort_keys=True) for e in self.executions
+        )
+        payload = "\n".join(lines) + "\n"
+        if hasattr(path, "write"):
+            path.write(payload)
+        else:
+            Path(path).write_text(payload)
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path | TextIO) -> "ApplicationTrace":
+        """Load a trace written by :meth:`to_jsonl`."""
+        if hasattr(path, "read"):
+            text = path.read()
+        else:
+            text = Path(path).read_text()
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty trace file")
+        header = json.loads(lines[0])
+        if "application" not in header:
+            raise ValueError("trace file missing application header line")
+        trace = cls(application=header["application"])
+        for line in lines[1:]:
+            trace.record(KernelExecution.from_dict(json.loads(line)))
+        return trace
 
     # -- aggregates ------------------------------------------------------------
 

@@ -1,0 +1,115 @@
+"""Structured logging for the pipeline.
+
+Every module logs through a child of the ``repro`` logger
+(:func:`get_logger`), attaching machine-readable fields via
+:func:`log_event`.  Uncofigured, the stdlib default applies (warnings
+and errors reach stderr; info/debug are silent) — importing the library
+never hijacks the host application's logging.
+
+The CLI calls :func:`configure_logging` once: human-readable lines or
+JSON (``--log-json``) on **stderr**, so stdout stays reserved for
+machine-readable results (tables, timelines, artifact lists).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+__all__ = ["get_logger", "log_event", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy.
+
+    Pass a module's ``__name__`` (already rooted at ``repro``) or any
+    dotted suffix (``"telemetry"`` -> ``repro.telemetry``).
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields
+) -> None:
+    """Emit one structured event if ``level`` is enabled.
+
+    ``event`` is a short machine-stable identifier (``"fold-complete"``,
+    ``"cap-violation"``); ``fields`` are its key=value payload.  The
+    human formatter renders ``event key=value ...``; the JSON formatter
+    emits the fields verbatim.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(level, event, extra={"event_fields": fields})
+
+
+class _HumanFormatter(logging.Formatter):
+    """``LEVEL logger: event key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname.lower():7s} {record.name}: {record.getMessage()}"
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            payload = " ".join(f"{k}={v}" for k, v in fields.items())
+            return f"{base} {payload}"
+        return base
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            out.update(fields)
+        return json.dumps(out, default=str, sort_keys=False)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_mode: bool = False,
+    quiet: bool = False,
+    stream: IO[str] | None = None,
+) -> None:
+    """Install the pipeline's logging configuration (CLI entry point).
+
+    Parameters
+    ----------
+    level:
+        Threshold name (``"debug"``, ``"info"``, ``"warning"``,
+        ``"error"``).
+    json_mode:
+        Emit one JSON object per line instead of human-readable text.
+    quiet:
+        Raise the threshold to errors only, regardless of ``level``.
+    stream:
+        Destination (defaults to ``sys.stderr`` — stdout is reserved
+        for machine-readable results).
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if quiet:
+        numeric = logging.ERROR
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_JsonFormatter() if json_mode else _HumanFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False

@@ -1,0 +1,348 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+The paper's profiling library keeps "a history of performance and power
+measurements ... accessible to the application or runtime" (Section
+III-D).  This module is the reproduction's equivalent for the *software*
+pipeline itself: every layer (hardware caches, profiling, scheduler,
+evaluation harness, runtime) registers named instruments here, and a
+single :meth:`MetricsRegistry.snapshot` renders the whole process state
+as a plain, deterministic dict — the ``metrics`` half of
+``telemetry.json``.
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** — every mutating call first
+  checks one module-level flag and returns immediately when telemetry
+  is off;
+* **lock-safe** — instruments may be updated from concurrent
+  cross-validation fold workers; each instrument carries its own small
+  lock so updates never lose counts;
+* **deterministic snapshots** — instruments are reported sorted by
+  name, so two snapshots of the same state serialize identically.
+
+Instruments are created lazily and never removed; fetching the same
+name twice returns the same object, so hot paths fetch once at import
+time and call ``.inc()`` thereafter.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "set_enabled",
+    "is_enabled",
+]
+
+
+class _State:
+    """Module-wide on/off switch (shared by the span tracer).
+
+    Collection starts enabled unless ``REPRO_TELEMETRY`` is set to
+    ``0``/``false``/``off`` in the environment — an escape hatch for
+    overhead-sensitive runs that never call :func:`set_enabled`.
+    """
+
+    enabled: bool = os.environ.get(
+        "REPRO_TELEMETRY", "1"
+    ).strip().lower() not in ("0", "false", "off")
+
+
+_STATE = _State()
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable or disable telemetry collection.
+
+    Disabled, every counter/gauge/histogram update and every span is a
+    single attribute check — results are never affected either way.
+    """
+    _STATE.enabled = bool(enabled)
+
+
+def is_enabled() -> bool:
+    """Whether telemetry collection is currently on."""
+    return _STATE.enabled
+
+
+class Counter:
+    """A monotonically increasing count (cache hits, records, events)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (no-op while telemetry is disabled)."""
+        if not _STATE.enabled:
+            return
+        with self._lock:
+            self._value += n
+
+    def reset(self) -> None:
+        """Zero the count."""
+        with self._lock:
+            self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """A point-in-time value (cache sizes, pool occupancy)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current value (no-op while disabled)."""
+        if not _STATE.enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def reset(self) -> None:
+        """Zero the value."""
+        with self._lock:
+            self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gauge {self.name}={self._value}>"
+
+
+#: Histogram bucket boundaries: half-decade log scale covering
+#: microseconds to hours — wide enough for any pipeline phase.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (e / 2.0) for e in range(-12, 9)
+)
+
+
+class Histogram:
+    """A streaming distribution: count, sum, min/max, log-scale buckets.
+
+    Observations stream in one at a time (no sample retention); the
+    snapshot reports count, sum, mean, min, max, and per-bucket counts.
+    :meth:`time` is the timer form — a context manager observing the
+    elapsed seconds of its block.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_buckets", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Stream one observation in (no-op while disabled)."""
+        if not _STATE.enabled:
+            return
+        value = float(value)
+        i = 0
+        for bound in _BUCKET_BOUNDS:
+            if value <= bound:
+                break
+            i += 1
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._buckets[i] += 1
+
+    class _Timer:
+        __slots__ = ("_hist", "_t0")
+
+        def __init__(self, hist: "Histogram") -> None:
+            self._hist = hist
+            self._t0 = 0.0
+
+        def __enter__(self) -> "Histogram._Timer":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self._hist.observe(time.perf_counter() - self._t0)
+
+    def time(self) -> "Histogram._Timer":
+        """Context manager observing the elapsed seconds of its block."""
+        return Histogram._Timer(self)
+
+    def reset(self) -> None:
+        """Drop the streamed distribution."""
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+            self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def summary(self) -> dict:
+        """Deterministic dict view of the streamed distribution."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+            buckets = list(self._buckets)
+        out = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+        }
+        nonzero = {
+            f"le_{_BUCKET_BOUNDS[i]:.3e}" if i < len(_BUCKET_BOUNDS) else "inf": n
+            for i, n in enumerate(buckets)
+            if n
+        }
+        if nonzero:
+            out["buckets"] = nonzero
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.name} n={self._count}>"
+
+
+class MetricsRegistry:
+    """A named collection of instruments with deterministic snapshots.
+
+    One process-wide instance (:func:`get_registry`) backs the module
+    conveniences :func:`counter` / :func:`gauge` / :func:`histogram`;
+    tests may build private registries.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument factories (get-or-create) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first request)."""
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first request)."""
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first request)."""
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            names = (
+                list(self._counters)
+                + list(self._gauges)
+                + list(self._histograms)
+            )
+        return iter(sorted(names))
+
+    # -- views ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry's full state as a plain dict.
+
+        Instruments appear sorted by name, so equal states serialize to
+        equal JSON — the determinism ``telemetry.json`` consumers (CI
+        assertions, diffing tools) rely on.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        return {
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.summary() for name, h in histograms},
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* (test isolation hook).
+
+        Instruments stay registered: hot paths hold module-level
+        references fetched at import time, and dropping the registry's
+        entries would orphan those references — they would keep counting
+        into objects no snapshot ever reports.
+        """
+        with self._lock:
+            for c in self._counters.values():
+                c.reset()
+            for g in self._gauges.values():
+                g.reset()
+            for h in self._histograms.values():
+                h.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """The process-wide counter named ``name``."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The process-wide gauge named ``name``."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The process-wide histogram named ``name``."""
+    return _REGISTRY.histogram(name)

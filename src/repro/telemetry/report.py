@@ -1,0 +1,127 @@
+"""``telemetry.json``: snapshot, persistence, and pretty-printing.
+
+One artifact ties the whole observability layer together::
+
+    {
+      "version": 1,
+      "spans": [...],        # hierarchical timing tree (trace_span)
+      "metrics": {
+        "counters": {...},   # cache hits/misses, records, violations
+        "gauges": {...},     # cache sizes
+        "histograms": {...}  # phase duration distributions
+      }
+    }
+
+:func:`write_telemetry` dumps the current process state (``repro eval
+--telemetry-out t.json`` and :func:`repro.evaluation.loocv.run_loocv`'s
+``telemetry_out=`` call it); ``repro telemetry t.json`` renders a saved
+report through :func:`render_telemetry`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.registry import get_registry, is_enabled
+from repro.telemetry.spans import get_tracer
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "telemetry_snapshot",
+    "write_telemetry",
+    "load_telemetry",
+    "render_telemetry",
+]
+
+TELEMETRY_VERSION: int = 1
+
+
+def telemetry_snapshot() -> dict:
+    """The process's current telemetry state as a plain dict."""
+    return {
+        "version": TELEMETRY_VERSION,
+        "enabled": is_enabled(),
+        "spans": get_tracer().snapshot(),
+        "metrics": get_registry().snapshot(),
+    }
+
+
+def write_telemetry(path: str | Path) -> dict:
+    """Write the current snapshot to ``path`` and return it."""
+    snapshot = telemetry_snapshot()
+    Path(path).write_text(
+        json.dumps(snapshot, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return snapshot
+
+
+def load_telemetry(path: str | Path) -> dict:
+    """Load a saved ``telemetry.json`` (validating its version)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != TELEMETRY_VERSION:
+        raise ValueError(
+            f"unsupported telemetry version {version!r} "
+            f"(expected {TELEMETRY_VERSION})"
+        )
+    return data
+
+
+def _render_span(node: dict, depth: int, rows: list[str]) -> None:
+    pad = "  " * depth
+    count = node.get("count", 0)
+    total = node.get("total_s", 0.0)
+    mean = total / count if count else 0.0
+    rows.append(
+        f"  {pad}{node['name']:<{max(2, 38 - 2 * depth)}} "
+        f"{count:>6}x {total:>9.3f}s  (avg {mean * 1e3:8.2f} ms)"
+    )
+    for child in node.get("children", ()):
+        _render_span(child, depth + 1, rows)
+
+
+def render_telemetry(data: dict) -> str:
+    """Human-readable rendering of a telemetry snapshot."""
+    rows: list[str] = ["Telemetry report"]
+
+    spans = data.get("spans", [])
+    rows.append("")
+    rows.append("Spans (calls, cumulative time):")
+    if spans:
+        for node in spans:
+            _render_span(node, 0, rows)
+    else:
+        rows.append("  (no spans recorded)")
+
+    metrics = data.get("metrics", {})
+    counters = metrics.get("counters", {})
+    rows.append("")
+    rows.append("Counters:")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            rows.append(f"  {name:<{width}}  {counters[name]}")
+    else:
+        rows.append("  (none)")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows.append("")
+        rows.append("Gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            rows.append(f"  {name:<{width}}  {gauges[name]:g}")
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows.append("")
+        rows.append("Histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            rows.append(
+                f"  {name}: n={h['count']} mean={h['mean']:.4g} "
+                f"min={h['min']:.4g} max={h['max']:.4g} sum={h['sum']:.4g}"
+            )
+    return "\n".join(rows)

@@ -1,0 +1,194 @@
+"""Span-based tracing: a hierarchical timing tree of the pipeline.
+
+``with trace_span("offline/cluster"):`` times a pipeline phase and
+attaches it under the innermost open span of the current thread,
+producing one aggregated tree for the whole offline -> online flow::
+
+    loocv                          1x   12.41s
+      offline/characterize         1x    8.02s
+      fold                        16x    4.31s
+        offline/dissimilarity     16x    0.08s
+        offline/train             16x    3.12s
+          offline/cluster         16x    1.95s
+          ...
+
+Repeated spans with the same name under the same parent *aggregate*
+(count + total seconds) instead of appending — 16 cross-validation
+folds produce one ``fold`` node with ``count=16``, keeping the tree
+bounded and its snapshot deterministic in shape.
+
+Concurrency: each thread keeps its own open-span stack.  A span opened
+on a thread with an empty stack attaches to the tracer's *fallback*
+parent when one is set (:meth:`Tracer.set_fallback`) — this is how
+parallel cross-validation folds running inside a ``ThreadPoolExecutor``
+land under the driving ``loocv`` span — and becomes a root of the
+tracer's forest otherwise.  Node mutation is lock-protected.
+
+When telemetry is disabled (:func:`repro.telemetry.set_enabled`),
+:func:`trace_span` returns a shared no-op context manager: one flag
+check, no timing, no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry.registry import _STATE
+
+__all__ = ["SpanNode", "Tracer", "get_tracer", "trace_span"]
+
+
+class SpanNode:
+    """One aggregated node of the span tree."""
+
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: dict[str, "SpanNode"] = {}
+
+    def to_dict(self) -> dict:
+        """Deterministic dict view (children sorted by name)."""
+        out: dict = {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+        }
+        if self.children:
+            out["children"] = [
+                self.children[k].to_dict() for k in sorted(self.children)
+            ]
+        return out
+
+    def child(self, name: str) -> "SpanNode":
+        """The aggregated child named ``name`` (without locking — the
+        tracer serializes mutation)."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SpanNode {self.name} {self.count}x {self.total_s:.3f}s>"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: times its block and folds it into the tree."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._node: SpanNode | None = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> SpanNode:
+        tracer = self._tracer
+        stack = tracer._stack()
+        with tracer._lock:
+            parent = (
+                stack[-1]
+                if stack
+                else (tracer._fallback or tracer._root)
+            )
+            node = parent.child(self._name)
+        stack.append(node)
+        self._node = node
+        self._t0 = time.perf_counter()
+        return node
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] is self._node:
+            stack.pop()
+        with tracer._lock:
+            self._node.count += 1
+            self._node.total_s += elapsed
+
+
+class Tracer:
+    """Collects spans into one process-wide aggregated tree."""
+
+    def __init__(self) -> None:
+        self._root = SpanNode("root")
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._fallback: SpanNode | None = None
+
+    def _stack(self) -> list[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str):
+        """A context manager timing ``name`` under the current span."""
+        if not _STATE.enabled:
+            return _NOOP
+        return _Span(self, name)
+
+    def set_fallback(self, node: SpanNode | None) -> None:
+        """Designate the parent for spans opened on threads with no open
+        span (e.g. worker threads of a fold pool).  Pass ``None`` to
+        clear; callers should clear in a ``finally``."""
+        with self._lock:
+            self._fallback = node
+
+    def snapshot(self) -> list[dict]:
+        """The root forest as a deterministic list of node dicts."""
+        with self._lock:
+            return [
+                self._root.children[k].to_dict()
+                for k in sorted(self._root.children)
+            ]
+
+    def reset(self) -> None:
+        """Drop the collected tree (test isolation hook).  Open spans
+        keep mutating their detached nodes harmlessly."""
+        with self._lock:
+            self._root = SpanNode("root")
+            self._fallback = None
+        self._local = threading.local()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def trace_span(name: str):
+    """Time a block as a span of the process-wide tracer::
+
+        with trace_span("offline/cluster"):
+            ...
+
+    Yields the aggregated :class:`SpanNode` (``None`` when telemetry is
+    disabled); nested spans become its children.
+    """
+    if not _STATE.enabled:
+        return _NOOP
+    return _Span(_TRACER, name)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,15 @@ class TestParser:
         args = p.parse_args(["predict", "-m", "m.json", "a/b/c", "--cap", "20"])
         assert args.cap == 20.0
         assert p.parse_args(["evaluate"]).command == "evaluate"
+        assert p.parse_args(["eval"]).command == "eval"
+        assert p.parse_args(["telemetry", "t.json"]).path == "t.json"
+
+    def test_parses_logging_flags(self):
+        p = build_parser()
+        args = p.parse_args(["--log-level", "debug", "--log-json", "-q", "suite"])
+        assert args.log_level == "debug"
+        assert args.log_json is True
+        assert args.quiet is True
 
 
 class TestSuiteCommand:
@@ -96,6 +107,52 @@ class TestEvaluateCommand:
         out = capsys.readouterr().out
         assert "Model" in out and "Model+FL" in out
         assert "% Under" in out
+
+    def test_eval_alias_with_telemetry_out(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.json"
+        rc = main(
+            ["eval", "--no-freq-limiting", "--telemetry-out", str(out_path)]
+        )
+        assert rc == 0
+        assert "% Under" in capsys.readouterr().out
+        data = json.loads(out_path.read_text())
+        span_names = {n["name"] for n in data["spans"]}
+        assert "loocv" in span_names
+        counters = data["metrics"]["counters"]
+        assert "cache.profile.misses" in counters
+        assert "scheduler.selections" in counters
+
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        assert main(["evaluate", "--no-freq-limiting"]) == 0
+        captured = capsys.readouterr()
+        # stdout is machine-readable results only; progress events land
+        # on stderr through the structured logger.
+        assert "loocv-start" not in captured.out
+        assert "loocv-start" in captured.err
+
+    def test_quiet_silences_progress(self, capsys):
+        assert main(["-q", "evaluate", "--no-freq-limiting"]) == 0
+        captured = capsys.readouterr()
+        assert "loocv-start" not in captured.err
+        assert "% Under" in captured.out
+
+
+class TestTelemetryCommand:
+    def test_pretty_prints_saved_report(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.json"
+        assert main(
+            ["eval", "--no-freq-limiting", "--telemetry-out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report" in out
+        assert "loocv" in out
+        assert "Counters:" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestRuntimeCommand:

@@ -23,11 +23,13 @@ PACKAGES = [
     "repro.profiling",
     "repro.runtime",
     "repro.stats",
+    "repro.telemetry",
     "repro.workloads",
 ]
 
 MODULES = [
     "repro.cli",
+    "repro.constants",
     "repro.cluster.allocation",
     "repro.cluster.manager",
     "repro.cluster.node",
@@ -80,6 +82,10 @@ MODULES = [
     "repro.stats.kendall",
     "repro.stats.kmedoids",
     "repro.stats.ols",
+    "repro.telemetry.logs",
+    "repro.telemetry.registry",
+    "repro.telemetry.report",
+    "repro.telemetry.spans",
     "repro.workloads.comd",
     "repro.workloads.families",
     "repro.workloads.kernel",
@@ -118,14 +124,16 @@ class TestDocIntegrity:
     @pytest.mark.parametrize(
         "doc",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PAPER_MAPPING.md",
-         "docs/ARCHITECTURE.md", "examples/README.md"],
+         "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
+         "examples/README.md"],
     )
     def test_referenced_files_exist(self, doc):
         doc_path = REPO / doc
         text = doc_path.read_text(encoding="utf-8")
         missing = []
         for ref in self._referenced_paths(text):
-            if ref.startswith(("model.json", "m.json", "artifacts")):
+            if ref.startswith(("model.json", "m.json", "artifacts",
+                               "telemetry.json")):
                 continue  # illustrative output paths, not repo files
             candidates = [
                 REPO / ref,

@@ -114,6 +114,50 @@ class TestTrace:
         trace = ApplicationTrace(application="empty")
         assert "(empty trace)" in trace.render_timeline()
 
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = ApplicationTrace(application="rt")
+        trace.record(self._exec(t=0, power=10.0, time=1.0, uid="x"))
+        trace.record(self._exec(t=1, power=30.0, time=0.5, uid="y"))
+        gpu_exec = KernelExecution(
+            timestep=1,
+            kernel_uid="z",
+            config=Configuration.gpu(0.649, 1.4),
+            time_s=0.25,
+            power_w=18.0,
+            power_cap_w=20.0,
+            phase="sample-gpu",
+        )
+        trace.record(gpu_exec)
+
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = ApplicationTrace.from_jsonl(path)
+        assert loaded.application == trace.application
+        assert loaded.executions == trace.executions
+        # Frozen dataclass equality covers configs; re-check aggregates.
+        assert loaded.total_energy_j == pytest.approx(trace.total_energy_j)
+
+    def test_jsonl_round_trip_via_file_object(self):
+        import io
+
+        trace = ApplicationTrace(application="rt")
+        trace.record(self._exec())
+        buf = io.StringIO()
+        trace.to_jsonl(buf)
+        buf.seek(0)
+        loaded = ApplicationTrace.from_jsonl(buf)
+        assert loaded.executions == trace.executions
+
+    def test_from_jsonl_rejects_empty_and_headerless(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            ApplicationTrace.from_jsonl(empty)
+        headerless = tmp_path / "bad.jsonl"
+        headerless.write_text('{"not_application": 1}\n')
+        with pytest.raises(ValueError, match="header"):
+            ApplicationTrace.from_jsonl(headerless)
+
 
 class TestAdaptiveRuntime:
     def test_sample_protocol_then_scheduled(self, trained, app):
