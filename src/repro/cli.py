@@ -146,9 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument(
         "--n-jobs",
         type=int,
-        default=1,
-        help="folds to evaluate concurrently (-1 = one per CPU); "
-        "results are identical for any value",
+        default=None,
+        help="folds to evaluate concurrently (-1 = one per CPU; "
+        "default: $REPRO_NJOBS or 1); results are identical for any value",
     )
     p_eval.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
@@ -158,8 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_acc.add_argument(
         "--n-jobs",
         type=int,
-        default=1,
-        help="folds to evaluate concurrently (-1 = one per CPU)",
+        default=None,
+        help="folds to evaluate concurrently (-1 = one per CPU; "
+        "default: $REPRO_NJOBS or 1)",
     )
     p_acc.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
@@ -183,8 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--n-jobs",
         type=int,
-        default=1,
-        help="cross-validation folds to run concurrently (-1 = one per CPU)",
+        default=None,
+        help="cross-validation folds to run concurrently (-1 = one per "
+        "CPU; default: $REPRO_NJOBS or 1)",
     )
     p_report.add_argument("--telemetry-out", default=None, help=telemetry_help)
 

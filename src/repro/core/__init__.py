@@ -27,6 +27,7 @@ from repro.core.clustering import (
     ClusteringResult,
     choose_n_clusters,
     cluster_kernels,
+    resolve_warm_medoids,
 )
 from repro.core.dissimilarity import (
     DissimilarityCache,
@@ -43,7 +44,12 @@ from repro.core.frontier import FrontierPoint, ParetoFrontier
 from repro.core.io import load_model, model_from_json, model_to_json, save_model
 from repro.core.model import AdaptiveModel, train_model
 from repro.core.predictor import KernelPrediction, OnlinePredictor
-from repro.core.regression import ClusterModels, DeviceModels, fit_cluster_models
+from repro.core.regression import (
+    ClusterModels,
+    DeviceModels,
+    RegressionGramPool,
+    fit_cluster_models,
+)
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE, SAMPLE_CONFIGS
 from repro.core.scheduler import Scheduler, SchedulerDecision, SchedulingGoal
 
@@ -65,6 +71,7 @@ __all__ = [
     "KernelPrediction",
     "OnlinePredictor",
     "ParetoFrontier",
+    "RegressionGramPool",
     "SAMPLE_CONFIGS",
     "SAMPLE_FEATURE_NAMES",
     "Scheduler",
@@ -82,6 +89,7 @@ __all__ = [
     "load_model",
     "model_from_json",
     "model_to_json",
+    "resolve_warm_medoids",
     "sample_features",
     "save_model",
     "train_model",

@@ -17,7 +17,7 @@ matrix, never coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Mapping
+from typing import Collection, Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -26,7 +26,12 @@ from repro.core.frontier import ParetoFrontier
 from repro.stats.agglomerative import average_linkage_labels
 from repro.stats.kmedoids import pam, silhouette_score
 
-__all__ = ["ClusteringResult", "cluster_kernels", "choose_n_clusters"]
+__all__ = [
+    "ClusteringResult",
+    "cluster_kernels",
+    "choose_n_clusters",
+    "resolve_warm_medoids",
+]
 
 #: The paper's empirically chosen cluster count.
 DEFAULT_N_CLUSTERS: int = 5
@@ -66,12 +71,13 @@ class ClusteringResult:
 
 
 def cluster_kernels(
-    frontiers: Mapping[str, ParetoFrontier],
+    frontiers: Mapping[str, ParetoFrontier] | Sequence[str],
     *,
     n_clusters: int = DEFAULT_N_CLUSTERS,
     method: Literal["pam", "average"] = "pam",
     composition_weight: float | None = None,
     dissimilarity: np.ndarray | None = None,
+    initial_medoid_uids: Sequence[str] | None = None,
 ) -> ClusteringResult:
     """Group kernels into clusters by frontier similarity.
 
@@ -79,7 +85,9 @@ def cluster_kernels(
     ----------
     frontiers:
         Per-kernel Pareto frontiers, keyed by kernel uid (insertion
-        order defines matrix order).
+        order defines matrix order) — or, when ``dissimilarity`` is
+        precomputed, just the kernel uids in matrix order (the frontier
+        values are only ever consumed to build the matrix).
     n_clusters:
         Cluster count (paper default: 5).
     method:
@@ -95,8 +103,23 @@ def cluster_kernels(
         :class:`~repro.core.dissimilarity.DissimilarityCache`
         submatrix).  When given, ``composition_weight`` is assumed to be
         already baked in and the matrix is used as-is.
+    initial_medoid_uids:
+        Optional warm-start seeding for PAM (see
+        :func:`resolve_warm_medoids`).  Ignored unless every uid is
+        present and distinct and exactly ``n_clusters`` are given —
+        anything else falls back to the cold BUILD phase, so a stale or
+        partial seeding can never fail a clustering that would
+        otherwise succeed.
     """
-    uids = list(frontiers.keys())
+    if isinstance(frontiers, Mapping):
+        uids = list(frontiers.keys())
+    else:
+        uids = list(frontiers)
+        if dissimilarity is None:
+            raise ValueError(
+                "clustering by uids alone requires a precomputed "
+                "dissimilarity matrix"
+            )
     if n_clusters < 1 or n_clusters > len(uids):
         raise ValueError(
             f"n_clusters={n_clusters} invalid for {len(uids)} kernels"
@@ -115,7 +138,13 @@ def cluster_kernels(
         D = dissimilarity_matrix(frontiers, **kwargs)
 
     if method == "pam":
-        result = pam(D, n_clusters)
+        init = None
+        if initial_medoid_uids is not None and len(initial_medoid_uids) == n_clusters:
+            pos = {u: i for i, u in enumerate(uids)}
+            seeds = [pos[u] for u in initial_medoid_uids if u in pos]
+            if len(seeds) == n_clusters and len(set(seeds)) == n_clusters:
+                init = seeds
+        result = pam(D, n_clusters, init_medoids=init)
         labels = result.labels
         medoids = tuple(uids[m] for m in result.medoids)
     elif method == "average":
@@ -132,6 +161,50 @@ def cluster_kernels(
         medoid_uids=medoids,
         method=method,
     )
+
+
+def resolve_warm_medoids(
+    reference: ClusteringResult,
+    reference_uids: Sequence[str],
+    reference_dissimilarity: np.ndarray,
+    present_uids: Collection[str],
+) -> tuple[str, ...] | None:
+    """Project a reference clustering's medoids onto a kernel subset.
+
+    For each reference cluster, the seeding keeps its medoid when the
+    subset retains it; otherwise the *best present member* of that
+    cluster stands in — the member minimizing total dissimilarity to
+    the cluster's other present members (the medoid of the surviving
+    sub-cluster), which is exactly the point SWAP would have promoted.
+    Used by the leave-one-out driver to seed every fold's PAM from the
+    full-suite clustering.
+
+    Returns ``None`` when no valid seeding exists (a cluster lost all
+    members to the holdout, or replacements collide), in which case the
+    caller should let PAM run its cold BUILD phase.
+    """
+    present = set(present_uids)
+    pos = {u: i for i, u in enumerate(reference_uids)}
+    D = np.asarray(reference_dissimilarity, dtype=float)
+    by_cluster: dict[int, list[str]] = {}
+    for uid, c in reference.labels.items():
+        by_cluster.setdefault(c, []).append(uid)
+
+    seeds: list[str] = []
+    for c in range(reference.n_clusters):
+        medoid = reference.medoid_uids[c] if c < len(reference.medoid_uids) else None
+        if medoid is not None and medoid in present:
+            seeds.append(medoid)
+            continue
+        members = [u for u in by_cluster.get(c, ()) if u in present]
+        if not members:
+            return None
+        rows = np.array([pos[u] for u in members])
+        sub = D[np.ix_(rows, rows)]
+        seeds.append(members[int(np.argmin(sub.sum(axis=1)))])
+    if len(set(seeds)) != len(seeds):
+        return None
+    return tuple(seeds)
 
 
 def choose_n_clusters(

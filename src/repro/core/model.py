@@ -38,7 +38,12 @@ from repro.core.clustering import (
     cluster_kernels,
 )
 from repro.core.predictor import KernelPrediction
-from repro.core.regression import ClusterModels, Transform, fit_cluster_models
+from repro.core.regression import (
+    ClusterModels,
+    RegressionGramPool,
+    Transform,
+    fit_cluster_models,
+)
 from repro.hardware.apu import Measurement
 from repro.hardware.config import ConfigSpace
 from repro.profiling.library import ProfilingLibrary
@@ -101,6 +106,8 @@ class AdaptiveModel:
         tree_min_samples_leaf: int = 2,
         config_space: ConfigSpace | None = None,
         dissimilarity: np.ndarray | None = None,
+        initial_medoid_uids: Sequence[str] | None = None,
+        gram_pool: RegressionGramPool | None = None,
     ) -> "AdaptiveModel":
         """Run the full offline pipeline on training characterizations.
 
@@ -111,7 +118,15 @@ class AdaptiveModel:
         a precomputed frontier-dissimilarity matrix in
         ``characterizations`` order (e.g. sliced from a
         :class:`~repro.core.dissimilarity.DissimilarityCache`),
-        skipping the pairwise frontier comparisons.
+        skipping both the per-kernel frontier derivation and the
+        pairwise frontier comparisons.
+
+        The training-engine accelerators (``docs/TRAINING_ENGINE.md``)
+        are opt-in and result-preserving: ``initial_medoid_uids``
+        warm-starts PAM from a reference clustering (ignored for
+        non-PAM methods or when seeds are invalid), and ``gram_pool``
+        fits the per-cluster regressions from cached sufficient
+        statistics instead of rebuilt design matrices.
         """
         if not characterizations:
             raise ValueError("cannot train on zero kernels")
@@ -119,15 +134,23 @@ class AdaptiveModel:
         if len(set(uids)) != len(uids):
             raise ValueError("duplicate kernel uids in training set")
 
-        with trace_span("offline/frontier"):
-            frontiers = {c.kernel_uid: c.frontier() for c in characterizations}
+        if dissimilarity is None:
+            with trace_span("offline/frontier"):
+                frontiers_or_uids: "Sequence[str] | dict" = {
+                    c.kernel_uid: c.frontier() for c in characterizations
+                }
+        else:
+            # A precomputed matrix makes the frontier values dead
+            # weight — clustering only needs the uid order.
+            frontiers_or_uids = uids
         with trace_span("offline/cluster"):
             clustering = cluster_kernels(
-                frontiers,
+                frontiers_or_uids,
                 n_clusters=n_clusters,
                 method=clustering_method,
                 composition_weight=composition_weight,
                 dissimilarity=dissimilarity,
+                initial_medoid_uids=initial_medoid_uids,
             )
         log_event(
             _log,
@@ -149,6 +172,7 @@ class AdaptiveModel:
                     transform=transform,
                     power_anchor=power_anchor,
                     ridge=ridge,
+                    gram_pool=gram_pool,
                 )
                 for cluster, members in sorted(by_cluster.items())
             }

@@ -43,8 +43,10 @@ extremes of the fitted range.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -58,9 +60,26 @@ from repro.core.features import (
     power_design_row,
 )
 from repro.hardware.config import Configuration, Device
-from repro.stats.ols import OLSModel, fit_ols
+from repro.stats.ols import GramStats, OLSModel, fit_ols, fit_ols_from_gram
+from repro.telemetry import counter
 
-__all__ = ["DeviceModels", "ClusterModels", "fit_cluster_models"]
+__all__ = [
+    "DeviceModels",
+    "ClusterModels",
+    "KernelGramBlocks",
+    "RegressionGramPool",
+    "fit_cluster_models",
+    "kernel_gram_blocks",
+]
+
+# Sufficient-statistic accounting (see docs/TRAINING_ENGINE.md):
+# per-kernel Gram blocks are built once suite-wide and re-served to
+# every fold; cluster-level sums are cached and, when a seeded superset
+# is known, derived by downdating it instead of re-summing.
+_GRAM_HITS = counter("train.gram.hits")
+_GRAM_MISSES = counter("train.gram.misses")
+_GRAM_SUM_HITS = counter("train.gram.sum_hits")
+_GRAM_DOWNDATES = counter("train.gram.downdates")
 
 #: Scale (watts) normalizing the power-anchor regressor.
 _POWER_ANCHOR_SCALE_W: float = 30.0
@@ -220,45 +239,262 @@ def _power_feature_names(device: Device, power_anchor: bool) -> tuple[str, ...]:
     return base + ("sample_power",) + tuple(f"sample_power*{n}" for n in base)
 
 
+def _kernel_design(
+    char: KernelCharacterization,
+    device: Device,
+    transform: Transform,
+    power_anchor: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The design rows one kernel contributes to its cluster's fits:
+    ``(X_perf, y_perf, X_power, y_power)``, without intercept columns,
+    in the kernel's measurement order.  Shared by the direct-design and
+    sufficient-statistics paths so both see identical rows."""
+    sample = char.gpu_sample if device is Device.GPU else char.cpu_sample
+    s_perf = sample.performance
+    s_power = sample.total_power_w
+    X_perf, y_perf, X_power, y_power = [], [], [], []
+    for cfg, m in char.measurements.items():
+        if cfg.device is not device:
+            continue
+        ratio = m.performance / s_perf
+        X_perf.append(design_row(cfg))
+        y_perf.append(np.log(ratio) if transform == "log" else ratio)
+        X_power.append(_power_features(cfg, s_power, power_anchor))
+        y_power.append(
+            np.log(m.total_power_w) if transform == "log" else m.total_power_w
+        )
+    return (
+        np.asarray(X_perf),
+        np.asarray(y_perf),
+        np.asarray(X_power),
+        np.asarray(y_power),
+    )
+
+
+@dataclass(frozen=True)
+class KernelGramBlocks:
+    """One kernel's sufficient statistics for one device's model pair.
+
+    ``power``'s statistics are taken over the full power design —
+    intercept column of ones included — so cluster sums feed
+    :func:`~repro.stats.ols.fit_ols_from_gram` directly.
+    """
+
+    perf: GramStats
+    power: GramStats
+
+    def __add__(self, other: "KernelGramBlocks") -> "KernelGramBlocks":
+        return KernelGramBlocks(
+            perf=self.perf + other.perf, power=self.power + other.power
+        )
+
+    def __sub__(self, other: "KernelGramBlocks") -> "KernelGramBlocks":
+        return KernelGramBlocks(
+            perf=self.perf - other.perf, power=self.power - other.power
+        )
+
+
+def kernel_gram_blocks(
+    char: KernelCharacterization,
+    device: Device,
+    *,
+    transform: Transform = "none",
+    power_anchor: bool = True,
+) -> KernelGramBlocks:
+    """Accumulate one kernel's per-device sufficient statistics."""
+    X_perf, y_perf, X_power, y_power = _kernel_design(
+        char, device, transform, power_anchor
+    )
+    if X_perf.shape[0] == 0:
+        raise ValueError(
+            f"kernel {char.kernel_uid!r} has no {device} measurements"
+        )
+    A_power = np.hstack([np.ones((X_power.shape[0], 1)), X_power])
+    return KernelGramBlocks(
+        perf=GramStats.from_design(X_perf, y_perf),
+        power=GramStats.from_design(A_power, y_power),
+    )
+
+
+class RegressionGramPool:
+    """Suite-wide cache of per-kernel Gram blocks and cluster sums.
+
+    The pool implements the training engine's sufficient-statistics
+    economy (``docs/TRAINING_ENGINE.md``):
+
+    * each kernel's per-device :class:`KernelGramBlocks` is built
+      exactly once per ``(transform, power_anchor)`` pool and re-served
+      to every cross-validation fold (``train.gram.{hits,misses}``);
+    * cluster-level sums are cached by member-uid set
+      (``train.gram.sum_hits``), so a cluster untouched by a fold's
+      holdout is free on every later fold;
+    * :meth:`seed_cluster_sums` registers reference cluster sums
+      (the full-suite clustering); a fold cluster that is a strict
+      subset of a seeded cluster is then computed by *downdating* —
+      subtracting the held-out kernels' blocks from the seeded sum
+      (``train.gram.downdates``) — instead of re-summing.
+
+    Determinism: downdates only ever subtract from *seeded* sums, which
+    are fixed before folds run, so the statistics served for a given
+    member set are a pure function of that set — identical for any fold
+    ordering or ``n_jobs``.  All methods are thread-safe.
+    """
+
+    _MAX_SUMS = 1024  # FIFO bound on cached cluster sums
+
+    def __init__(
+        self, *, transform: Transform = "none", power_anchor: bool = True
+    ) -> None:
+        self.transform: Transform = transform
+        self.power_anchor = power_anchor
+        self._lock = threading.RLock()
+        self._blocks: dict[tuple[str, Device], KernelGramBlocks] = {}
+        self._sums: OrderedDict[
+            tuple[Device, frozenset], KernelGramBlocks
+        ] = OrderedDict()
+        self._seeded: dict[tuple[Device, frozenset], KernelGramBlocks] = {}
+
+    def _block(
+        self, char: KernelCharacterization, device: Device
+    ) -> KernelGramBlocks:
+        key = (char.kernel_uid, device)
+        cached = self._blocks.get(key)
+        if cached is not None:
+            _GRAM_HITS.inc()
+            return cached
+        _GRAM_MISSES.inc()
+        block = kernel_gram_blocks(
+            char, device, transform=self.transform, power_anchor=self.power_anchor
+        )
+        self._blocks[key] = block
+        return block
+
+    def _sum_blocks(
+        self, chars: Sequence[KernelCharacterization], device: Device
+    ) -> KernelGramBlocks:
+        blocks = [self._block(c, device) for c in chars]
+        return KernelGramBlocks(
+            perf=GramStats.sum([b.perf for b in blocks]),
+            power=GramStats.sum([b.power for b in blocks]),
+        )
+
+    def seed_cluster_sums(
+        self,
+        clusters: Iterable[Iterable[str]],
+        chars_by_uid: Mapping[str, KernelCharacterization],
+    ) -> None:
+        """Register reference cluster sums as downdate bases.
+
+        ``clusters`` are uid groups (typically the full-suite
+        clustering's members); every kernel named must appear in
+        ``chars_by_uid``.  Seeding is idempotent and must happen before
+        concurrent fold workers query the pool for downdates to apply
+        deterministically.
+        """
+        with self._lock:
+            for group in clusters:
+                uids = list(group)
+                if not uids:
+                    continue
+                chars = [chars_by_uid[u] for u in uids]
+                key_set = frozenset(uids)
+                for device in (Device.CPU, Device.GPU):
+                    key = (device, key_set)
+                    if key not in self._seeded:
+                        self._seeded[key] = self._sum_blocks(chars, device)
+
+    def cluster_stats(
+        self, chars: Sequence[KernelCharacterization], device: Device
+    ) -> KernelGramBlocks:
+        """The summed sufficient statistics of one cluster's members."""
+        if not chars:
+            raise ValueError("cannot sum Gram blocks of zero kernels")
+        key_set = frozenset(c.kernel_uid for c in chars)
+        key = (device, key_set)
+        with self._lock:
+            cached = self._seeded.get(key)
+            if cached is None:
+                cached = self._sums.get(key)
+            if cached is not None:
+                _GRAM_SUM_HITS.inc()
+                return cached
+
+            # Downdate path: a seeded superset minus the few held-out
+            # kernels' blocks.  Restricted to seeded (pre-fold) sums so
+            # the served value is a pure function of the member set.
+            result = None
+            best: tuple[int, frozenset] | None = None
+            for (dev, seeded_set) in self._seeded:
+                if dev is not device or not key_set < seeded_set:
+                    continue
+                extra = len(seeded_set) - len(key_set)
+                if best is None or extra < best[0]:
+                    best = (extra, seeded_set)
+            if best is not None:
+                extras = best[1] - key_set
+                blocks = [self._blocks.get((u, device)) for u in sorted(extras)]
+                if all(b is not None for b in blocks):
+                    result = self._seeded[(device, best[1])]
+                    for b in blocks:
+                        result = result - b
+                    _GRAM_DOWNDATES.inc()
+            if result is None:
+                result = self._sum_blocks(chars, device)
+            self._sums[key] = result
+            while len(self._sums) > self._MAX_SUMS:
+                self._sums.popitem(last=False)
+            return result
+
+    def stats(self) -> dict:
+        """Cache sizes (for benchmarks and diagnostics)."""
+        with self._lock:
+            return {
+                "blocks": len(self._blocks),
+                "sums": len(self._sums),
+                "seeded": len(self._seeded),
+            }
+
+
 def _fit_device(
     chars: Sequence[KernelCharacterization],
     device: Device,
     transform: Transform,
     power_anchor: bool,
     ridge: float,
+    gram_pool: RegressionGramPool | None = None,
 ) -> DeviceModels:
-    X_perf, y_perf, X_power, y_power = [], [], [], []
-    for c in chars:
-        sample = c.gpu_sample if device is Device.GPU else c.cpu_sample
-        s_perf = sample.performance
-        s_power = sample.total_power_w
-        for cfg, m in c.measurements.items():
-            if cfg.device is not device:
-                continue
-            ratio = m.performance / s_perf
-            X_perf.append(design_row(cfg))
-            y_perf.append(np.log(ratio) if transform == "log" else ratio)
-            X_power.append(_power_features(cfg, s_power, power_anchor))
-            y_power.append(
-                np.log(m.total_power_w) if transform == "log" else m.total_power_w
-            )
-
     names = GPU_FEATURE_NAMES if device is Device.GPU else CPU_FEATURE_NAMES
     power_names = _power_feature_names(device, power_anchor)
-    perf_model = fit_ols(
-        np.asarray(X_perf),
-        np.asarray(y_perf),
-        intercept=False,
-        feature_names=names,
-        ridge=ridge,
-    )
-    power_model = fit_ols(
-        np.asarray(X_power),
-        np.asarray(y_power),
-        intercept=True,
-        feature_names=power_names,
-        ridge=ridge,
-    )
+    if gram_pool is not None:
+        stats = gram_pool.cluster_stats(chars, device)
+        perf_model = fit_ols_from_gram(
+            stats.perf, intercept=False, feature_names=names, ridge=ridge
+        )
+        power_model = fit_ols_from_gram(
+            stats.power, intercept=True, feature_names=power_names, ridge=ridge
+        )
+    else:
+        X_perf, y_perf, X_power, y_power = [], [], [], []
+        for c in chars:
+            Xp, yp, Xw, yw = _kernel_design(c, device, transform, power_anchor)
+            X_perf.append(Xp)
+            y_perf.append(yp)
+            X_power.append(Xw)
+            y_power.append(yw)
+        perf_model = fit_ols(
+            np.concatenate(X_perf),
+            np.concatenate(y_perf),
+            intercept=False,
+            feature_names=names,
+            ridge=ridge,
+        )
+        power_model = fit_ols(
+            np.concatenate(X_power),
+            np.concatenate(y_power),
+            intercept=True,
+            feature_names=power_names,
+            ridge=ridge,
+        )
     return DeviceModels(
         device=device,
         perf_ratio=perf_model,
@@ -274,6 +510,7 @@ def fit_cluster_models(
     transform: Transform = "none",
     power_anchor: bool = True,
     ridge: float = 0.0,
+    gram_pool: RegressionGramPool | None = None,
 ) -> ClusterModels:
     """Fit one cluster's regressions from its member kernels'
     characterizations (pooled across kernels, per device).
@@ -282,16 +519,35 @@ def fit_cluster_models(
     when a cluster is small (few kernels pool few rows) and the
     interaction columns would otherwise overfit measurement noise.
 
+    ``gram_pool`` switches the fit to the sufficient-statistics path:
+    per-kernel Gram blocks are drawn from (and cached in) the pool and
+    summed, and the models are solved from the normal equations
+    (:func:`~repro.stats.ols.fit_ols_from_gram`) instead of a fresh
+    ``lstsq`` over a rebuilt design matrix.  Coefficients agree with
+    the direct path to floating-point reassociation (≤1e-9; see
+    ``docs/TRAINING_ENGINE.md``).  The pool's ``transform`` and
+    ``power_anchor`` must match the fit's.
+
     Raises
     ------
     ValueError
-        If ``chars`` is empty or a device has no measurements.
+        If ``chars`` is empty, a device has no measurements, or
+        ``gram_pool`` was built for different model settings.
     """
     if not chars:
         raise ValueError("cannot fit cluster models without kernels")
     if transform not in ("none", "log"):
         raise ValueError(f"unknown transform {transform!r}")
+    if gram_pool is not None and (
+        gram_pool.transform != transform or gram_pool.power_anchor != power_anchor
+    ):
+        raise ValueError(
+            "gram_pool was accumulated for "
+            f"(transform={gram_pool.transform!r}, "
+            f"power_anchor={gram_pool.power_anchor}) but the fit requests "
+            f"(transform={transform!r}, power_anchor={power_anchor})"
+        )
     return ClusterModels(
-        cpu=_fit_device(chars, Device.CPU, transform, power_anchor, ridge),
-        gpu=_fit_device(chars, Device.GPU, transform, power_anchor, ridge),
+        cpu=_fit_device(chars, Device.CPU, transform, power_anchor, ridge, gram_pool),
+        gpu=_fit_device(chars, Device.GPU, transform, power_anchor, ridge, gram_pool),
     )

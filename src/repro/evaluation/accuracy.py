@@ -106,7 +106,7 @@ def evaluate_prediction_accuracy(
     n_clusters: int = 5,
     transform: str = "none",
     power_anchor: bool = True,
-    n_jobs: int = 1,
+    n_jobs: int | None = None,
     store: CharacterizationStore | None = None,
 ) -> AccuracyReport:
     """Leave-one-benchmark-out prediction accuracy for every kernel.
@@ -116,7 +116,8 @@ def evaluate_prediction_accuracy(
     whole-space predictions are scored against ground truth.  Training
     profiles come from the shared profile-once characterization store
     (or an explicit ``store``); ``n_jobs`` runs folds concurrently with
-    results identical for any value.
+    results identical for any value (``None`` defers to ``REPRO_NJOBS``,
+    falling back to serial).
     """
     suite = suite if suite is not None else build_suite()
     if store is None:

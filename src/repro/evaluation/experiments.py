@@ -85,7 +85,7 @@ def experiment_fig3_tree(seed: int = 0) -> ExperimentResult:
 
 
 def experiment_table3_and_figures(
-    seed: int = 0, report: LOOCVReport | None = None, n_jobs: int = 1
+    seed: int = 0, report: LOOCVReport | None = None, n_jobs: int | None = None
 ) -> dict[str, ExperimentResult]:
     """Table III and Figures 4, 5, 6, 8, 9 from one cross-validated run.
 

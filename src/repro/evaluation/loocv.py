@@ -24,6 +24,7 @@ noise stream is spawned per fold from one :class:`numpy.random.SeedSequence`.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -31,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.clustering import cluster_kernels, resolve_warm_medoids
 from repro.core.model import AdaptiveModel
 from repro.core.scheduler import Scheduler
 from repro.evaluation.harness import CapEvaluation, evaluate_suite
@@ -55,11 +57,28 @@ __all__ = ["LOOCVReport", "LOOCVTimings", "run_loocv", "resolve_n_jobs"]
 _log = get_logger(__name__)
 
 
-def resolve_n_jobs(n_jobs: int) -> int:
-    """Normalize an ``n_jobs`` knob: ``-1`` means one worker per CPU."""
-    if n_jobs == -1:
-        import os
+#: Environment default for ``n_jobs`` when callers leave it unset.
+NJOBS_ENV_VAR = "REPRO_NJOBS"
 
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: ``-1`` means one worker per CPU.
+
+    ``None`` (the unset default) consults the ``REPRO_NJOBS``
+    environment variable — itself accepting ``-1`` — and falls back to
+    serial execution when that is absent or empty.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(NJOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{NJOBS_ENV_VAR} must be an integer (>= 1 or -1), got {raw!r}"
+            ) from None
+    if n_jobs == -1:
         return max(1, os.cpu_count() or 1)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
@@ -119,7 +138,7 @@ def run_loocv(
     tree_max_depth: int = 4,
     risk_margin: float = 0.0,
     include_freq_limiting: bool = True,
-    n_jobs: int = 1,
+    n_jobs: int | None = None,
     store: CharacterizationStore | None = None,
     telemetry_out: str | Path | None = None,
 ) -> LOOCVReport:
@@ -147,7 +166,9 @@ def run_loocv(
         model-independent, so ablation callers may skip them).
     n_jobs:
         Folds to evaluate concurrently (``-1`` = one per CPU).  Results
-        are identical for any value.
+        are identical for any value.  ``None`` (the default) defers to
+        the ``REPRO_NJOBS`` environment variable, falling back to
+        serial execution.
     store:
         Characterization store to draw training profiles from; defaults
         to the process-wide shared store for ``(suite, seed)``, which
@@ -174,6 +195,12 @@ def run_loocv(
     benchmarks = list(suite.benchmarks())
     fold_streams = np.random.SeedSequence(seed).spawn(len(benchmarks))
 
+    all_kernels = list(suite)
+    all_uids = [k.uid for k in all_kernels]
+    # Populated once before folds run (see the warm-start block below);
+    # folds only read these.
+    warm: dict[str, object] = {"clustering": None, "D": None, "pool": None}
+
     def run_fold(fold_i: int, benchmark: str):
         with trace_span("fold"), fold_hist.time():
             online_ss, mfl_ss, cpufl_ss, gpufl_ss = fold_streams[fold_i].spawn(4)
@@ -185,6 +212,14 @@ def run_loocv(
             dissimilarity = store.dissimilarity_submatrix(
                 train_kernels, composition_weight=composition_weight
             )
+            init_uids = None
+            if warm["clustering"] is not None:
+                init_uids = resolve_warm_medoids(
+                    warm["clustering"],
+                    all_uids,
+                    warm["D"],
+                    {k.uid for k in train_kernels},
+                )
             with trace_span("offline/train"):
                 model = AdaptiveModel.train(
                     characterizations,
@@ -195,6 +230,8 @@ def run_loocv(
                     ridge=ridge,
                     tree_max_depth=tree_max_depth,
                     dissimilarity=dissimilarity,
+                    initial_medoid_uids=init_uids,
+                    gram_pool=warm["pool"],
                 )
             train_s = time.perf_counter() - t0
 
@@ -231,8 +268,36 @@ def run_loocv(
         # Profile-once: the full suite is characterized up front (a warm
         # shared store makes this free); folds only slice from it.
         t0 = time.perf_counter()
-        store.characterize(list(suite))
+        full_chars = store.characterize(all_kernels)
         report.timings.profile_s = time.perf_counter() - t0
+
+        # Training-engine warm start (docs/TRAINING_ENGINE.md): cluster
+        # the *full* suite once, seed the regression Gram pool with the
+        # reference cluster sums, and let each fold (a) seed its PAM
+        # from the reference medoids projected onto its training subset
+        # and (b) fit regressions by downdating the seeded sums.  Both
+        # accelerators are result-preserving; seeding happens before
+        # fold workers start so served statistics are deterministic for
+        # any ``n_jobs``.
+        if n_clusters <= len(all_kernels):
+            full_D = store.dissimilarity_submatrix(
+                all_kernels, composition_weight=composition_weight
+            )
+            with trace_span("offline/cluster"):
+                full_clustering = cluster_kernels(
+                    all_uids, n_clusters=n_clusters, dissimilarity=full_D
+                )
+            pool = store.gram_pool(
+                transform=transform, power_anchor=power_anchor
+            )
+            pool.seed_cluster_sums(
+                (
+                    full_clustering.members(c)
+                    for c in range(full_clustering.n_clusters)
+                ),
+                {c.kernel_uid: c for c in full_chars},
+            )
+            warm.update(clustering=full_clustering, D=full_D, pool=pool)
 
         jobs = resolve_n_jobs(n_jobs)
         report.timings.n_jobs = jobs

@@ -56,7 +56,7 @@ def sweep_hyperparameter(
     *,
     suite: Suite | None = None,
     seed: int = 0,
-    n_jobs: int = 1,
+    n_jobs: int | None = None,
     **fixed: Any,
 ) -> list[SensitivityPoint]:
     """Evaluate the Model method at each value of one training knob.
@@ -73,7 +73,8 @@ def sweep_hyperparameter(
         Sweep variants to evaluate concurrently (``-1`` = one per CPU).
         Every variant draws its training profiles from the same shared
         characterization store, so parallel variants do not repeat the
-        exhaustive sweep; results are identical for any ``n_jobs``.
+        exhaustive sweep; results are identical for any ``n_jobs``
+        (``None`` defers to ``REPRO_NJOBS``, falling back to serial).
     fixed:
         Other knobs held constant across the sweep.
     """

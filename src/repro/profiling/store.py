@@ -45,6 +45,7 @@ from repro.telemetry import counter, trace_span
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> profiling)
     from repro.core.characterization import KernelCharacterization
     from repro.core.frontier import ParetoFrontier
+    from repro.core.regression import RegressionGramPool
 
 __all__ = ["CharacterizationStore", "suite_fingerprint"]
 
@@ -110,6 +111,7 @@ class CharacterizationStore:
         self._characteristics: dict[str, object] = {}
         self._frontiers: dict[str, "ParetoFrontier"] = {}
         self._diss_cache = None  # lazily built DissimilarityCache
+        self._gram_pools: dict = {}
         self.hits = 0
         self.misses = 0
 
@@ -186,6 +188,31 @@ class CharacterizationStore:
             return self._diss_cache.submatrix(
                 [k.uid for k in kernels], composition_weight=w
             )
+
+    def gram_pool(
+        self, *, transform: str = "none", power_anchor: bool = True
+    ) -> "RegressionGramPool":
+        """The store's regression sufficient-statistics pool for one
+        model setting (see
+        :class:`~repro.core.regression.RegressionGramPool`).
+
+        Pools live as long as the store, so per-kernel Gram blocks are
+        accumulated once suite-wide and every later training pass —
+        folds, repeated ``run_loocv`` calls, ablation sweeps — reuses
+        them.  One pool exists per ``(transform, power_anchor)``
+        because both change the accumulated design rows.
+        """
+        from repro.core.regression import RegressionGramPool
+
+        with self._lock:
+            key = (transform, power_anchor)
+            pool = self._gram_pools.get(key)
+            if pool is None:
+                pool = RegressionGramPool(
+                    transform=transform, power_anchor=power_anchor
+                )
+                self._gram_pools[key] = pool
+            return pool
 
     def stats(self) -> dict:
         """Cache statistics (for benchmarks and diagnostics)."""

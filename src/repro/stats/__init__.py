@@ -8,7 +8,11 @@ faithful NumPy implementations of each building block:
 
 ``ols``
     Multivariate ordinary least squares with optional intercept,
-    coefficient standard errors, and :math:`R^2`.
+    coefficient standard errors, and :math:`R^2` — fit from design
+    matrices (:func:`~repro.stats.ols.fit_ols`) or from additive
+    sufficient statistics
+    (:class:`~repro.stats.ols.GramStats`,
+    :func:`~repro.stats.ols.fit_ols_from_gram`).
 ``kendall``
     Kendall rank correlation (tau-a and tau-b) used to compare the
     orderings of shared configurations on two Pareto frontiers.
@@ -35,15 +39,17 @@ from repro.stats.cart import ClassificationTree, TreeNode
 from repro.stats.crossval import leave_one_group_out
 from repro.stats.kendall import kendall_tau
 from repro.stats.kmedoids import KMedoidsResult, pam, silhouette_score
-from repro.stats.ols import OLSModel, fit_ols
+from repro.stats.ols import GramStats, OLSModel, fit_ols, fit_ols_from_gram
 
 __all__ = [
     "ClassificationTree",
+    "GramStats",
     "KMedoidsResult",
     "OLSModel",
     "TreeNode",
     "average_linkage_labels",
     "fit_ols",
+    "fit_ols_from_gram",
     "kendall_tau",
     "leave_one_group_out",
     "pam",

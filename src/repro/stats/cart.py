@@ -14,6 +14,18 @@ deterministic implementation of axis-aligned binary splitting:
 * ties are broken by lowest feature index, then lowest threshold, so the
   fit is fully deterministic.
 
+Split search is fully vectorized (``docs/TRAINING_ENGINE.md``):
+:meth:`ClassificationTree.fit` stably argsorts every feature column
+*once* into an index matrix, recursion partitions that matrix (a stable
+partition of a stable sort is the stable sort of the subset, so
+per-node re-sorting is never needed), and :meth:`_best_split` scores
+every candidate threshold of every feature in one numpy pass —
+cumulative one-hot class counts down the sorted order give the left/
+right Gini of all split points at once.  The arithmetic mirrors the
+scalar loop operation for operation, so chosen splits are bit-identical
+to the retained reference implementation
+(:func:`_best_split_reference`), which the equivalence suite pins.
+
 :meth:`ClassificationTree.render` produces a text rendering in the spirit
 of the paper's Figure 3 (feature comparisons at internal nodes, cluster
 ids at leaves), used by the Figure 3 benchmark.
@@ -25,7 +37,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry import counter
+
 __all__ = ["ClassificationTree", "TreeNode"]
+
+# Training-engine instrumentation: nodes grown and splits applied
+# across all tree fits (see docs/OBSERVABILITY.md).
+_NODES = counter("train.cart.nodes")
+_SPLITS = counter("train.cart.splits")
 
 
 @dataclass
@@ -64,6 +83,53 @@ def _gini(counts: np.ndarray) -> float:
         return 0.0
     p = counts / total
     return float(1.0 - np.sum(p * p))
+
+
+def _best_split_reference(
+    X: np.ndarray,
+    y: np.ndarray,
+    counts: np.ndarray,
+    *,
+    n_classes: int,
+    min_samples_leaf: int = 1,
+) -> tuple[int, float] | None:
+    """Reference per-sample split search (the pre-vectorization loop).
+
+    Retained verbatim as the behavioural oracle for
+    :meth:`ClassificationTree._best_split`: the equivalence suite runs
+    both over random and adversarially tied datasets and requires the
+    identical ``(feature, threshold)`` choice, including the
+    lexicographic ``(gini, feature, threshold)`` tie-break.  Not used
+    on any production path.
+    """
+    n = y.shape[0]
+    parent_gini = _gini(counts)
+    best: tuple[float, int, float] | None = None  # (gini, feature, thr)
+
+    for f in range(X.shape[1]):
+        order = np.argsort(X[:, f], kind="stable")
+        xs, ys = X[order, f], y[order]
+        left_counts = np.zeros(n_classes)
+        right_counts = counts.astype(float).copy()
+        for i in range(n - 1):
+            c = ys[i]
+            left_counts[c] += 1
+            right_counts[c] -= 1
+            if xs[i] == xs[i + 1]:
+                continue  # cannot split between equal values
+            n_left = i + 1
+            n_right = n - n_left
+            if n_left < min_samples_leaf or n_right < min_samples_leaf:
+                continue
+            g = (n_left * _gini(left_counts) + n_right * _gini(right_counts)) / n
+            thr = 0.5 * (xs[i] + xs[i + 1])
+            key = (g, f, thr)
+            if best is None or key < best:
+                best = key
+
+    if best is None or best[0] >= parent_gini - 1e-12:
+        return None
+    return best[1], best[2]
 
 
 class ClassificationTree:
@@ -125,63 +191,137 @@ class ClassificationTree:
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         self._n_classes = self.classes_.shape[0]
         self._n_features = X.shape[1]
-        self.root = self._grow(X, y_enc, depth=0)
+        self._X = X
+        self._y = y_enc
+        # Presort every feature column once; recursion partitions this
+        # index matrix instead of re-sorting per node.
+        idx_sorted = np.argsort(X, axis=0, kind="stable")
+        self._grown_nodes = 0
+        self._grown_splits = 0
+        self.root = self._grow(idx_sorted, depth=0)
+        _NODES.inc(self._grown_nodes)
+        _SPLITS.inc(self._grown_splits)
+        del self._X, self._y
         return self
 
-    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
-        counts = np.bincount(y, minlength=self._n_classes)
+    def _grow(self, idx_sorted: np.ndarray, depth: int) -> TreeNode:
+        """Grow one subtree over the samples in ``idx_sorted`` — an
+        ``(m, p)`` matrix whose column ``f`` lists the node's sample
+        indices in stable-sorted order of feature ``f``."""
+        y_here = self._y[idx_sorted[:, 0]]
+        counts = np.bincount(y_here, minlength=self._n_classes)
+        self._grown_nodes += 1
         node = TreeNode(
             depth=depth,
-            n_samples=y.shape[0],
+            n_samples=idx_sorted.shape[0],
             class_counts=counts,
-            prediction=int(np.argmax(counts)),
+            prediction=self._majority(idx_sorted[:, 0], counts),
         )
         if (
             depth >= self.max_depth
-            or y.shape[0] < self.min_samples_split
+            or idx_sorted.shape[0] < self.min_samples_split
             or _gini(counts) == 0.0
         ):
             return node
 
-        split = self._best_split(X, y, counts)
+        split = self._best_split(idx_sorted, counts)
         if split is None:
             return node
         feature, threshold = split
-        mask = X[:, feature] <= threshold
+        self._grown_splits += 1
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X[mask], y[mask], depth + 1)
-        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        # Stable partition of every presorted column: each column keeps
+        # exactly the left (resp. right) samples in sorted order.
+        left_member = np.zeros(self._X.shape[0], dtype=bool)
+        col = idx_sorted[:, feature]
+        left_member[col[self._X[col, feature] <= threshold]] = True
+        in_left = left_member[idx_sorted]  # (m, p)
+        m_left = int(in_left[:, 0].sum())
+        p = idx_sorted.shape[1]
+        idx_left = idx_sorted.T[in_left.T].reshape(p, m_left).T
+        idx_right = idx_sorted.T[~in_left.T].reshape(
+            p, idx_sorted.shape[0] - m_left
+        ).T
+        node.left = self._grow(idx_left, depth + 1)
+        node.right = self._grow(idx_right, depth + 1)
         return node
 
-    def _best_split(
-        self, X: np.ndarray, y: np.ndarray, counts: np.ndarray
-    ) -> tuple[int, float] | None:
-        """Exhaustive search for the impurity-minimizing (feature, threshold)."""
-        n = y.shape[0]
-        parent_gini = _gini(counts)
-        best: tuple[float, int, float] | None = None  # (gini, feature, thr)
+    def _majority(self, samples: np.ndarray, counts: np.ndarray) -> int:
+        """The node's predicted class: majority, with ties broken by the
+        class of the earliest (lowest-index) sample among the tied
+        classes.
 
-        for f in range(self._n_features):
-            order = np.argsort(X[:, f], kind="stable")
-            xs, ys = X[order, f], y[order]
-            left_counts = np.zeros(self._n_classes)
-            right_counts = counts.astype(float).copy()
-            for i in range(n - 1):
-                c = ys[i]
-                left_counts[c] += 1
-                right_counts[c] -= 1
-                if xs[i] == xs[i + 1]:
-                    continue  # cannot split between equal values
-                n_left = i + 1
-                n_right = n - n_left
-                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
-                    continue
-                g = (n_left * _gini(left_counts) + n_right * _gini(right_counts)) / n
-                thr = 0.5 * (xs[i] + xs[i + 1])
-                key = (g, f, thr)
-                if best is None or key < best:
-                    best = key
+        The tie-break is *label-permutation covariant*: renumbering the
+        classes renumbers the prediction identically, so a clustering
+        that differs only by cluster-id permutation (e.g. a warm-started
+        PAM run that found the same partition in a different medoid
+        order) yields a tree predicting the same partition clusters.
+        Breaking ties by lowest class id would make tied leaves depend
+        on the arbitrary numbering.
+        """
+        tied = np.flatnonzero(counts == counts.max())
+        if tied.size == 1:
+            return int(tied[0])
+        eligible = samples[np.isin(self._y[samples], tied)]
+        return int(self._y[eligible.min()])
+
+    def _best_split(
+        self, idx_sorted: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Vectorized exhaustive search for the impurity-minimizing
+        ``(feature, threshold)`` over the presorted index matrix.
+
+        One numpy pass scores every candidate boundary of every feature:
+        cumulative one-hot class counts down each sorted column give all
+        left/right class distributions at once, and the weighted Gini is
+        evaluated for the whole ``(m-1, p)`` candidate grid.  Each
+        scalar operation matches :func:`_best_split_reference` exactly
+        (integer-valued counts, identical division/summation order), so
+        the selected split — including the lexicographic
+        ``(gini, feature, threshold)`` tie-break — is bit-identical.
+        """
+        m, p = idx_sorted.shape
+        if m < 2:
+            return None
+        parent_gini = _gini(counts)
+
+        XS = self._X[idx_sorted, np.arange(p)[np.newaxis, :]]  # (m, p) sorted values
+        YS = self._y[idx_sorted]  # (m, p) labels in that order
+        # left[i, f, c]: samples of class c among the first i+1 of column f.
+        onehot = YS[:, :, np.newaxis] == np.arange(self._n_classes)
+        left = np.cumsum(onehot, axis=0, dtype=float)[:-1]  # (m-1, p, K)
+        right = counts.astype(float) - left
+        n_left = np.arange(1, m, dtype=float)[:, np.newaxis]  # (m-1, 1)
+        n_right = float(m) - n_left
+        pl = left / n_left[:, :, np.newaxis]
+        pr = right / n_right[:, :, np.newaxis]
+        gini_left = 1.0 - np.sum(pl * pl, axis=2)
+        gini_right = 1.0 - np.sum(pr * pr, axis=2)
+        weighted = (n_left * gini_left + n_right * gini_right) / m  # (m-1, p)
+
+        valid = XS[:-1] != XS[1:]  # cannot split between equal values
+        if self.min_samples_leaf > 1:
+            leaf_ok = (n_left >= self.min_samples_leaf) & (
+                n_right >= self.min_samples_leaf
+            )
+            valid &= leaf_ok
+        if not valid.any():
+            return None
+        scores = np.where(valid, weighted, np.inf)
+
+        # Per feature: argmin takes the first (= lowest-threshold)
+        # minimizer, matching the reference loop's tie-break; across
+        # features a strict < keeps the lowest feature index on ties.
+        best_rows = np.argmin(scores, axis=0)  # (p,)
+        best: tuple[float, int, float] | None = None
+        for f in range(p):
+            g = scores[best_rows[f], f]
+            if np.isinf(g):
+                continue
+            if best is None or g < best[0]:
+                i = best_rows[f]
+                best = (float(g), f, float(0.5 * (XS[i, f] + XS[i + 1, f])))
 
         if best is None or best[0] >= parent_gini - 1e-12:
             return None

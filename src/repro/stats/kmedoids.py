@@ -13,6 +13,12 @@ The implementation follows Kaufman & Rousseeuw (1990):
 * **SWAP** iterates over all (medoid, non-medoid) exchanges and applies
   the best strictly-improving swap until a local optimum.
 
+``pam`` optionally accepts ``init_medoids`` to *warm-start* SWAP from a
+known-good seeding instead of running BUILD — the leave-one-out driver
+seeds every fold from the full-suite clustering, so folds typically
+converge in zero or one swap (``train.pam.{builds,swaps}`` telemetry
+shows the effect; see ``docs/TRAINING_ENGINE.md``).
+
 :func:`silhouette_score` supports the paper's empirical choice of the
 cluster count (five clusters; Section III-B) and our cluster-count
 ablation benchmark.
@@ -21,10 +27,17 @@ ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.telemetry import counter
+
 __all__ = ["KMedoidsResult", "pam", "silhouette_score"]
+
+# Training-engine instrumentation (see docs/OBSERVABILITY.md).
+_BUILDS = counter("train.pam.builds")
+_SWAPS = counter("train.pam.swaps")
 
 
 @dataclass(frozen=True)
@@ -105,6 +118,7 @@ def pam(
     k: int,
     *,
     max_iter: int = 100,
+    init_medoids: Sequence[int] | np.ndarray | None = None,
 ) -> KMedoidsResult:
     """Cluster ``n`` points into ``k`` groups given dissimilarities ``D``.
 
@@ -117,6 +131,12 @@ def pam(
     max_iter:
         Safety bound on SWAP iterations (PAM converges long before this
         for the problem sizes in this package).
+    init_medoids:
+        Optional ``k`` distinct point indices to seed SWAP from,
+        skipping the BUILD phase.  SWAP still runs to a local optimum,
+        so any seeding yields a valid clustering; a seeding near the
+        optimum (e.g. the previous clustering of a slightly smaller
+        point set) converges in very few swaps.
 
     Returns
     -------
@@ -127,10 +147,24 @@ def pam(
     if not 1 <= k <= n:
         raise ValueError(f"k={k} out of range for n={n} points")
 
-    medoids = np.array(_build(D, k), dtype=int)
+    if init_medoids is None:
+        medoids = np.array(_build(D, k), dtype=int)
+        _BUILDS.inc()
+    else:
+        medoids = np.array(init_medoids, dtype=int)
+        if medoids.shape != (k,):
+            raise ValueError(
+                f"init_medoids must supply exactly k={k} indices, "
+                f"got shape {medoids.shape}"
+            )
+        if np.unique(medoids).shape[0] != k:
+            raise ValueError("init_medoids must be distinct")
+        if medoids.min() < 0 or medoids.max() >= n:
+            raise ValueError(f"init_medoids out of range for n={n} points")
     labels, cost = _assign(D, medoids)
 
     n_iter = 0
+    n_swaps = 0
     for n_iter in range(1, max_iter + 1):
         # Evaluate every (medoid mi, candidate h) exchange at once.
         # Removing medoid mi leaves each point with its nearest remaining
@@ -158,7 +192,9 @@ def pam(
             break
         mi, h = divmod(flat, n)
         medoids[mi] = h
+        n_swaps += 1
         labels, cost = _assign(D, medoids)
+    _SWAPS.inc(n_swaps)
     return KMedoidsResult(medoids=medoids, labels=labels, cost=cost, n_iter=n_iter)
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["OLSModel", "fit_ols"]
+__all__ = ["GramStats", "OLSModel", "fit_ols", "fit_ols_from_gram"]
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,187 @@ class OLSModel:
         for name, c, se in zip(names, self.coef, self.std_errors):
             lines.append(f"  {name:<{width}}  {c:+12.6g}  (se {se:.4g})")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GramStats:
+    """Sufficient statistics of a least-squares problem.
+
+    For a design matrix ``A`` (*including* the intercept column, when
+    the model has one) and response ``y``, the triple
+    ``(AᵀA, Aᵀy, yᵀy)`` plus the row count is everything OLS needs:
+    coefficients, :math:`R^2`, residual variance, and standard errors
+    are all functions of these four quantities.  Crucially they are
+    *additive over rows*: the statistics of a pooled design are the sum
+    of per-block statistics, and removing a block is a subtraction
+    (a *downdate*).  That additivity is what lets the training engine
+    accumulate per-kernel blocks once and assemble every
+    cross-validation fold's per-cluster regression by summation instead
+    of rebuilding design matrices.
+    """
+
+    xtx: np.ndarray
+    xty: np.ndarray
+    yty: float
+    n_obs: int
+
+    @classmethod
+    def from_design(cls, A: np.ndarray, y: np.ndarray) -> "GramStats":
+        """Accumulate the statistics of one design block ``(A, y)``."""
+        A = np.asarray(A, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if A.ndim != 2:
+            raise ValueError(f"A must be 2-D, got shape {A.shape}")
+        if y.ndim != 1 or y.shape[0] != A.shape[0]:
+            raise ValueError(f"y shape {y.shape} incompatible with A {A.shape}")
+        if not (np.all(np.isfinite(A)) and np.all(np.isfinite(y))):
+            raise ValueError("A and y must be finite")
+        return cls(
+            xtx=A.T @ A,
+            xty=A.T @ y,
+            yty=float(y @ y),
+            n_obs=A.shape[0],
+        )
+
+    def _check_compatible(self, other: "GramStats") -> None:
+        if self.xtx.shape != other.xtx.shape:
+            raise ValueError(
+                f"incompatible Gram shapes {self.xtx.shape} vs {other.xtx.shape}"
+            )
+
+    def __add__(self, other: "GramStats") -> "GramStats":
+        self._check_compatible(other)
+        return GramStats(
+            xtx=self.xtx + other.xtx,
+            xty=self.xty + other.xty,
+            yty=self.yty + other.yty,
+            n_obs=self.n_obs + other.n_obs,
+        )
+
+    def __sub__(self, other: "GramStats") -> "GramStats":
+        """Downdate: remove a previously accumulated block."""
+        self._check_compatible(other)
+        if other.n_obs > self.n_obs:
+            raise ValueError("cannot downdate more observations than present")
+        return GramStats(
+            xtx=self.xtx - other.xtx,
+            xty=self.xty - other.xty,
+            yty=self.yty - other.yty,
+            n_obs=self.n_obs - other.n_obs,
+        )
+
+    @staticmethod
+    def sum(stats: "list[GramStats] | tuple[GramStats, ...]") -> "GramStats":
+        """Vectorized sum of many blocks (one stacked reduction per
+        field rather than a chain of pairwise adds)."""
+        if not stats:
+            raise ValueError("cannot sum zero Gram blocks")
+        if len(stats) == 1:
+            return stats[0]
+        return GramStats(
+            xtx=np.sum(np.stack([s.xtx for s in stats]), axis=0),
+            xty=np.sum(np.stack([s.xty for s in stats]), axis=0),
+            yty=float(sum(s.yty for s in stats)),
+            n_obs=sum(s.n_obs for s in stats),
+        )
+
+
+def fit_ols_from_gram(
+    stats: GramStats,
+    *,
+    intercept: bool = True,
+    feature_names: tuple[str, ...] | list[str] = (),
+    ridge: float = 0.0,
+) -> OLSModel:
+    """Fit least squares from precomputed sufficient statistics.
+
+    Solves the normal equations ``(AᵀA + λ·Dₙᵢ) β = Aᵀy`` where
+    ``Dₙᵢ`` is the identity with a zero in the intercept position
+    (the ridge penalty never touches the intercept) — analytically the
+    same estimator :func:`fit_ols` computes by row augmentation.  On a
+    rank-deficient Gram the solve falls back to the minimum-norm
+    ``lstsq`` solution, which coincides with :func:`fit_ols`'s
+    pseudo-inverse answer (``X⁺ = (XᵀX)⁺Xᵀ``).
+
+    ``stats`` must be accumulated over the *full* design matrix — when
+    ``intercept=True`` that means the leading column of ones is part of
+    the design whose Gram was taken, so ``stats.xty[0]`` is ``Σy``.
+
+    Diagnostics (``r_squared``, ``std_errors``, ``sigma2``,
+    ``xtx_pinv``) are derived from the same statistics and agree with
+    :func:`fit_ols` to floating-point reassociation (≤1e-9 on
+    well-scaled problems; the equivalence suite pins this).
+    """
+    xtx = np.asarray(stats.xtx, dtype=float)
+    xty = np.asarray(stats.xty, dtype=float)
+    if xtx.ndim != 2 or xtx.shape[0] != xtx.shape[1]:
+        raise ValueError(f"xtx must be square, got shape {xtx.shape}")
+    p = xtx.shape[0]
+    if xty.shape != (p,):
+        raise ValueError(f"xty shape {xty.shape} incompatible with xtx {xtx.shape}")
+    if stats.n_obs < 1:
+        raise ValueError("cannot fit OLS with zero observations")
+    if not (np.all(np.isfinite(xtx)) and np.all(np.isfinite(xty))):
+        raise ValueError("Gram statistics must be finite")
+    if ridge < 0:
+        raise ValueError("ridge must be non-negative")
+    n = stats.n_obs
+
+    if ridge > 0:
+        penalty = np.full(p, ridge)
+        if intercept:
+            penalty[0] = 0.0  # the intercept is never penalized
+        M = xtx + np.diag(penalty)
+        # The row-augmented design of fit_ols always has full column
+        # rank, which is what its lstsq reports.
+        rank = p
+    else:
+        M = xtx
+        rank = int(np.linalg.matrix_rank(xtx, hermitian=True))
+
+    if rank < p:
+        coef, *_ = np.linalg.lstsq(M, xty, rcond=None)
+    else:
+        try:
+            coef = np.linalg.solve(M, xty)
+        except np.linalg.LinAlgError:  # pragma: no cover - rank said full
+            coef, *_ = np.linalg.lstsq(M, xty, rcond=None)
+
+    # Unpenalized residual sum of squares from the identity
+    # ||y - Aβ||² = yᵀy - 2βᵀAᵀy + βᵀAᵀAβ (clamped: cancellation can
+    # push an exact fit a few ulps negative).
+    rss = max(float(stats.yty - 2.0 * (coef @ xty) + coef @ xtx @ coef), 0.0)
+    if intercept:
+        # Column 0 of the design is all ones, so xty[0] == Σy.
+        tss = max(float(stats.yty - (xty[0] ** 2) / n), 0.0)
+    else:
+        tss = float(stats.yty)
+    r_squared = 1.0 - rss / tss if tss > 0 else (1.0 if rss == 0 else 0.0)
+
+    dof = n - rank
+    std_errors = np.full(p, np.nan)
+    sigma2 = float("nan")
+    xtx_pinv = None
+    if dof > 0:
+        sigma2 = rss / dof
+        try:
+            xtx_pinv = np.linalg.pinv(xtx)
+            diag = np.diag(sigma2 * xtx_pinv)
+            std_errors = np.sqrt(np.where(diag >= 0, diag, np.nan))
+        except np.linalg.LinAlgError:  # pragma: no cover - pinv rarely fails
+            pass
+
+    return OLSModel(
+        coef=coef,
+        intercept=intercept,
+        r_squared=r_squared,
+        std_errors=std_errors,
+        n_obs=n,
+        rank=rank,
+        feature_names=tuple(feature_names),
+        sigma2=sigma2,
+        xtx_pinv=xtx_pinv,
+    )
 
 
 def fit_ols(

@@ -129,3 +129,66 @@ def test_property_silhouette_bounded(n, seed):
     labels = pam(D, 2).labels
     s = silhouette_score(D, labels)
     assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9
+
+
+# -- warm-started PAM (init_medoids) -------------------------------------------
+
+
+def test_warm_start_from_own_medoids_is_a_fixed_point():
+    D, _ = _three_blob_matrix()
+    cold = pam(D, 3)
+    warm = pam(D, 3, init_medoids=cold.medoids)
+    np.testing.assert_array_equal(warm.medoids, cold.medoids)
+    np.testing.assert_array_equal(warm.labels, cold.labels)
+    assert warm.cost == pytest.approx(cold.cost)
+
+
+def test_warm_start_from_poor_seeds_recovers_blobs():
+    D, truth = _three_blob_matrix()
+    # All seeds inside one blob: SWAP must still separate the blobs.
+    warm = pam(D, 3, init_medoids=[0, 1, 2])
+    cold = pam(D, 3)
+    assert warm.cost == pytest.approx(cold.cost)
+    for c in range(3):
+        assert len(np.unique(warm.labels[truth == c])) == 1
+
+
+def test_warm_start_validation():
+    D, _ = _three_blob_matrix()
+    with pytest.raises(ValueError):
+        pam(D, 3, init_medoids=[0, 1])  # wrong count
+    with pytest.raises(ValueError):
+        pam(D, 3, init_medoids=[0, 0, 1])  # duplicates
+    with pytest.raises(ValueError):
+        pam(D, 3, init_medoids=[0, 1, D.shape[0]])  # out of range
+
+
+def _random_dissimilarity(rng, n):
+    M = rng.uniform(0.0, 1.0, size=(n, n))
+    D = (M + M.T) / 2.0
+    np.fill_diagonal(D, 0.0)
+    return D
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=20),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_warm_and_cold_reach_equal_objective(n, k, seed):
+    """Warm-started SWAP converges to a local optimum whose cost equals
+    the cold BUILD+SWAP optimum on random dissimilarity matrices when
+    seeded from the cold solution, and never exceeds the cost of its
+    own seeding."""
+    rng = np.random.default_rng(seed)
+    k = min(k, n - 1)
+    D = _random_dissimilarity(rng, n)
+    cold = pam(D, k)
+    warm = pam(D, k, init_medoids=cold.medoids)
+    assert warm.cost == pytest.approx(cold.cost, abs=1e-12)
+
+    seeds = rng.choice(n, size=k, replace=False)
+    reseeded = pam(D, k, init_medoids=seeds)
+    seed_cost = float(np.min(D[:, seeds], axis=1).sum())
+    assert reseeded.cost <= seed_cost + 1e-12

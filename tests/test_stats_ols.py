@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats import fit_ols
+from repro.stats import GramStats, fit_ols, fit_ols_from_gram
 
 
 def test_exact_recovery_with_intercept():
@@ -128,3 +128,145 @@ def test_property_r_squared_in_unit_interval_with_intercept(n, seed):
     y = rng.normal(size=n)
     model = fit_ols(X, y, intercept=True)
     assert -1e-9 <= model.r_squared <= 1.0 + 1e-9
+
+
+# -- sufficient-statistics path (GramStats / fit_ols_from_gram) ----------------
+
+
+def _full_design(X, intercept):
+    return np.hstack([np.ones((X.shape[0], 1)), X]) if intercept else X
+
+
+def _assert_models_close(gram_model, direct_model, atol=1e-9):
+    np.testing.assert_allclose(gram_model.coef, direct_model.coef, atol=atol)
+    assert gram_model.r_squared == pytest.approx(
+        direct_model.r_squared, abs=atol
+    )
+    np.testing.assert_allclose(
+        gram_model.std_errors, direct_model.std_errors, atol=atol, equal_nan=True
+    )
+    assert gram_model.intercept == direct_model.intercept
+    assert gram_model.n_obs == direct_model.n_obs
+    assert gram_model.rank == direct_model.rank
+
+
+def test_gram_stats_from_design_matches_products():
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(12, 4))
+    y = rng.normal(size=12)
+    s = GramStats.from_design(A, y)
+    np.testing.assert_allclose(s.xtx, A.T @ A)
+    np.testing.assert_allclose(s.xty, A.T @ y)
+    assert s.yty == pytest.approx(float(y @ y))
+    assert s.n_obs == 12
+
+
+def test_gram_stats_add_sub_roundtrip():
+    rng = np.random.default_rng(1)
+    A1, y1 = rng.normal(size=(8, 3)), rng.normal(size=8)
+    A2, y2 = rng.normal(size=(5, 3)), rng.normal(size=5)
+    s1, s2 = GramStats.from_design(A1, y1), GramStats.from_design(A2, y2)
+    pooled = s1 + s2
+    np.testing.assert_allclose(
+        pooled.xtx, GramStats.from_design(np.vstack([A1, A2]),
+                                          np.concatenate([y1, y2])).xtx
+    )
+    back = pooled - s2
+    np.testing.assert_allclose(back.xtx, s1.xtx, atol=1e-12)
+    np.testing.assert_allclose(back.xty, s1.xty, atol=1e-12)
+    assert back.n_obs == s1.n_obs
+
+
+def test_gram_stats_guards():
+    rng = np.random.default_rng(2)
+    s3 = GramStats.from_design(rng.normal(size=(4, 3)), rng.normal(size=4))
+    s2 = GramStats.from_design(rng.normal(size=(4, 2)), rng.normal(size=4))
+    with pytest.raises(ValueError):
+        _ = s3 + s2
+    with pytest.raises(ValueError):
+        _ = s3 - (s3 + s3)
+    with pytest.raises(ValueError):
+        GramStats.from_design(np.array([[np.inf]]), np.array([1.0]))
+
+
+@pytest.mark.parametrize("intercept", [True, False])
+@pytest.mark.parametrize("ridge", [0.0, 0.5])
+def test_fit_from_gram_matches_fit_ols(intercept, ridge):
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(30, 3))
+    y = X @ np.array([1.0, -2.0, 0.5]) + rng.normal(scale=0.3, size=30)
+    direct = fit_ols(X, y, intercept=intercept, ridge=ridge)
+    stats = GramStats.from_design(_full_design(X, intercept), y)
+    via_gram = fit_ols_from_gram(stats, intercept=intercept, ridge=ridge)
+    _assert_models_close(via_gram, direct)
+
+
+def test_fit_from_gram_rank_deficient_matches_pseudoinverse():
+    # A duplicated column: lstsq's minimum-norm solution on both paths.
+    rng = np.random.default_rng(4)
+    base = rng.normal(size=(20, 2))
+    X = np.hstack([base, base[:, :1]])
+    y = base @ np.array([1.0, 2.0]) + rng.normal(scale=0.1, size=20)
+    direct = fit_ols(X, y, intercept=False)
+    via_gram = fit_ols_from_gram(
+        GramStats.from_design(X, y), intercept=False
+    )
+    assert direct.rank == via_gram.rank == 2
+    # Rank-deficient normal equations square the conditioning, so allow
+    # a looser (but still tight) agreement than the full-rank 1e-9.
+    np.testing.assert_allclose(via_gram.coef, direct.coef, atol=1e-6)
+    assert via_gram.r_squared == pytest.approx(direct.r_squared, abs=1e-9)
+
+
+def test_fit_from_gram_validates():
+    s = GramStats(xtx=np.eye(2), xty=np.zeros(2), yty=0.0, n_obs=3)
+    with pytest.raises(ValueError):
+        fit_ols_from_gram(
+            GramStats(xtx=np.eye(2), xty=np.zeros(3), yty=0.0, n_obs=3)
+        )
+    with pytest.raises(ValueError):
+        fit_ols_from_gram(s, ridge=-1.0)
+    with pytest.raises(ValueError):
+        fit_ols_from_gram(
+            GramStats(xtx=np.eye(2), xty=np.zeros(2), yty=0.0, n_obs=0)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=6, max_value=40),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+    st.floats(min_value=0.0, max_value=2.0),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_gram_equals_design_fit(n, p, intercept, ridge, seed):
+    """fit_ols_from_gram == fit_ols within 1e-9 on well-scaled problems."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = rng.normal(size=n)
+    direct = fit_ols(X, y, intercept=intercept, ridge=ridge)
+    stats = GramStats.from_design(_full_design(X, intercept), y)
+    via_gram = fit_ols_from_gram(stats, intercept=intercept, ridge=ridge)
+    _assert_models_close(via_gram, direct, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=15),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_gram_downdate_equals_subset_fit(n1, n2, seed):
+    """Pooled stats minus one block == stats of the remaining block."""
+    rng = np.random.default_rng(seed)
+    A1, y1 = rng.normal(size=(n1, 3)), rng.normal(size=n1)
+    A2, y2 = rng.normal(size=(n2, 3)), rng.normal(size=n2)
+    s1 = GramStats.from_design(A1, y1)
+    pooled = GramStats.from_design(
+        np.vstack([A1, A2]), np.concatenate([y1, y2])
+    )
+    downdated = pooled - GramStats.from_design(A2, y2)
+    direct = fit_ols_from_gram(s1, intercept=False)
+    via_downdate = fit_ols_from_gram(downdated, intercept=False)
+    np.testing.assert_allclose(via_downdate.coef, direct.coef, atol=1e-8)
