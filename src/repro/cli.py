@@ -151,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         "default: $REPRO_NJOBS or 1); results are identical for any value",
     )
     p_eval.add_argument("--telemetry-out", default=None, help=telemetry_help)
+    p_eval.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject faults into the online measurement paths from this "
+        "scenario JSON (see docs/ROBUSTNESS.md); forces serial folds",
+    )
 
     p_acc = sub.add_parser(
         "accuracy", help="cross-validated prediction accuracy (MAPE, rank tau)"
@@ -173,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timesteps", type=int, default=6, help="timesteps to execute"
     )
     p_rt.add_argument("--telemetry-out", default=None, help=telemetry_help)
+    p_rt.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject faults into the application's measured runs from "
+        "this scenario JSON (training stays clean)",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -281,12 +293,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_jobs=args.n_jobs,
         freq_limiting=not args.no_freq_limiting,
+        fault_plan=args.fault_plan,
     )
     report = run_loocv(
         seed=args.seed,
         include_freq_limiting=not args.no_freq_limiting,
         n_jobs=args.n_jobs,
         telemetry_out=args.telemetry_out,
+        fault_plan=args.fault_plan,
     )
     print(render_table3(summarize(report.records), title="Methods vs oracle:"))
     t = report.timings
@@ -324,6 +338,20 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     model = train_model(
         library, [k for k in suite if k.benchmark != benchmark]
     )
+    if args.fault_plan is not None:
+        # Attached after training so the offline campaign stays clean;
+        # only the application's online runs see the faults.
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_file(args.fault_plan)
+        apu.inject_faults(plan)
+        log_event(
+            _log,
+            logging.INFO,
+            "fault-plan-attached",
+            plan=plan.name,
+            events=len(plan),
+        )
     runtime = AdaptiveRuntime(model, ProfilingLibrary(apu, seed=args.seed + 1))
     trace = runtime.run(app, args.timesteps, args.cap)
     print(trace.render_timeline())

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import respects_cap
 from repro.core.model import AdaptiveModel
 from repro.core.predictor import KernelPrediction
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
@@ -93,7 +94,7 @@ class NodeFrontier:
         point if even that is infeasible — a node cannot turn off)."""
         best = self.points[0]
         for p in self.points:
-            if p.cap_w <= cap_w:
+            if respects_cap(p.cap_w, cap_w):
                 best = p
             else:
                 break

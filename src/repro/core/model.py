@@ -92,6 +92,14 @@ class AdaptiveModel:
         """The shared structure-of-arrays view of the model's space."""
         return self._table
 
+    @property
+    def default_cluster(self) -> int:
+        """The conservative fallback cluster used when classification
+        inputs are corrupt (graceful degradation, docs/ROBUSTNESS.md):
+        the lowest cluster id, a deterministic choice independent of
+        the unusable sample readings."""
+        return min(self.cluster_models)
+
     @staticmethod
     def train(
         characterizations: Sequence[KernelCharacterization],
@@ -200,6 +208,7 @@ class AdaptiveModel:
         *,
         kernel_uid: str = "unknown",
         with_uncertainty: bool = False,
+        cluster: int | None = None,
     ) -> KernelPrediction:
         """Predict power and performance for every configuration of an
         unseen kernel, from its two sample measurements only.
@@ -207,9 +216,16 @@ class AdaptiveModel:
         With ``with_uncertainty=True`` the prediction also carries
         per-configuration prediction standard deviations (paper
         Section VI), enabling risk-averse scheduling.
+
+        ``cluster`` overrides the classification tree (degraded-mode
+        callers pass :attr:`default_cluster` when the sample counters
+        are corrupt); ``None`` classifies normally.
         """
-        with trace_span("online/classify"):
-            cluster = self.classifier.predict(cpu_sample, gpu_sample)
+        if cluster is None:
+            with trace_span("online/classify"):
+                cluster = self.classifier.predict(cpu_sample, gpu_sample)
+        elif cluster not in self.cluster_models:
+            raise ValueError(f"unknown cluster override {cluster!r}")
         models = self.cluster_models[cluster]
         table = self._table
         power = table.assemble(

@@ -31,15 +31,37 @@ import numpy as np
 
 from repro.core.frontier import ParetoFrontier
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.faults import (
+    SampleRunError,
+    measurement_is_finite,
+    sanitize_measurement,
+)
 from repro.hardware.apu import Measurement
 from repro.hardware.config import Configuration
 from repro.profiling.library import ProfilingLibrary
-from repro.telemetry import trace_span
+from repro.telemetry import counter, get_logger, log_event, trace_span
+
+import logging
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import AdaptiveModel
 
 __all__ = ["KernelPrediction", "OnlinePredictor"]
+
+_log = get_logger(__name__)
+
+# Degradation accounting for the online sample stage
+# (docs/ROBUSTNESS.md): retried sample runs, samples abandoned after the
+# retry budget (replaced by conservative synthetic anchors), and sample
+# pairs whose readings were corrupt and sanitized before classification.
+_SAMPLE_RETRIES = counter("faults.retries")
+_SAMPLE_FALLBACKS = counter("faults.sample_fallbacks")
+_CORRUPT_SAMPLES = counter("faults.corrupt_samples")
+
+#: Default retry budget for failed sample runs (mirrors
+#: :class:`repro.runtime.AdaptiveRuntime`; the predictor models no wall
+#: clock, so only the count matters here).
+DEFAULT_SAMPLE_RETRY_LIMIT: int = 3
 
 
 class _ArrayPairView(Mapping):
@@ -281,11 +303,24 @@ class OnlinePredictor:
         A trained :class:`repro.core.model.AdaptiveModel`.
     library:
         The profiling library to execute and record the sample runs.
+    retry_limit:
+        Graceful-degradation budget: how many times to retry a sample
+        run that fails with :class:`repro.faults.SampleRunError` before
+        substituting a conservative synthetic anchor.
     """
 
-    def __init__(self, model: "AdaptiveModel", library: ProfilingLibrary) -> None:
+    def __init__(
+        self,
+        model: "AdaptiveModel",
+        library: ProfilingLibrary,
+        *,
+        retry_limit: int = DEFAULT_SAMPLE_RETRY_LIMIT,
+    ) -> None:
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
         self.model = model
         self.library = library
+        self.retry_limit = retry_limit
 
     @property
     def table(self):
@@ -294,14 +329,62 @@ class OnlinePredictor:
 
     def predict(self, kernel, *, with_uncertainty: bool = False) -> KernelPrediction:
         """Run the two sample iterations of ``kernel`` and predict power
-        and performance for every configuration."""
+        and performance for every configuration.
+
+        Degrades gracefully under injected faults: failed sample runs
+        are retried up to ``retry_limit`` times and then replaced by a
+        conservative synthetic anchor; corrupt readings (dropout/NaN)
+        are sanitized and classification falls back to the model's
+        default cluster.  Without faults this path is byte-identical to
+        the clean protocol.
+        """
         with trace_span("online/sample"):
-            cpu_profile = self.library.profile(kernel, CPU_SAMPLE)
-            gpu_profile = self.library.profile(kernel, GPU_SAMPLE)
+            cpu_m = self._sample(kernel, CPU_SAMPLE)
+            gpu_m = self._sample(kernel, GPU_SAMPLE)
+        cluster = None
+        if not (measurement_is_finite(cpu_m) and measurement_is_finite(gpu_m)):
+            with trace_span("online/degraded"):
+                _CORRUPT_SAMPLES.inc()
+                cpu_m = sanitize_measurement(cpu_m)
+                gpu_m = sanitize_measurement(gpu_m)
+                cluster = self.model.default_cluster
+                log_event(
+                    _log,
+                    logging.WARNING,
+                    "predictor-corrupt-samples",
+                    kernel=getattr(kernel, "uid", "unknown"),
+                    fallback_cluster=cluster,
+                )
         with trace_span("online/predict"):
             return self.model.predict_kernel(
-                cpu_profile.measurement,
-                gpu_profile.measurement,
-                kernel_uid=cpu_profile.kernel_uid,
+                cpu_m,
+                gpu_m,
+                kernel_uid=getattr(kernel, "uid", "unknown"),
                 with_uncertainty=with_uncertainty,
+                cluster=cluster,
             )
+
+    def _sample(self, kernel, config: Configuration) -> Measurement:
+        """One sample run, retried on injected failure; falls back to a
+        conservative synthetic measurement when the budget runs out."""
+        try:
+            return self.library.profile(kernel, config).measurement
+        except SampleRunError:
+            pass
+        with trace_span("online/degraded"):
+            for _ in range(self.retry_limit):
+                _SAMPLE_RETRIES.inc()
+                try:
+                    return self.library.profile(kernel, config).measurement
+                except SampleRunError:
+                    continue
+            _SAMPLE_FALLBACKS.inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "predictor-sample-failed",
+                kernel=getattr(kernel, "uid", "unknown"),
+                config=config.label(),
+                retries=self.retry_limit,
+            )
+            return sanitize_measurement(None, config)

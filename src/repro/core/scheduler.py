@@ -44,6 +44,10 @@ _log = get_logger(__name__)
 _SELECTIONS = counter("scheduler.selections")
 _FALLBACKS = counter("scheduler.infeasible_fallbacks")
 
+# Degradation accounting (docs/ROBUSTNESS.md): configurations reported
+# stuck by the hardware and quarantined from future selection.
+_QUARANTINED = counter("faults.quarantined_configs")
+
 SchedulingGoal = Literal["performance", "energy", "edp"]
 
 
@@ -120,6 +124,58 @@ class Scheduler:
             raise ValueError("risk_margin must be in [0, 1)")
         self.goal = goal
         self.risk_margin = risk_margin
+        self._quarantined: set[Configuration] = set()
+
+    # -- quarantine (graceful degradation, docs/ROBUSTNESS.md) -------------------
+
+    @property
+    def quarantined(self) -> frozenset[Configuration]:
+        """Configurations excluded from selection (reported stuck)."""
+        return frozenset(self._quarantined)
+
+    def quarantine(self, config: Configuration) -> None:
+        """Exclude a configuration from future selections.
+
+        The runtime calls this when the hardware reports a different
+        P-state than the one scheduled (stuck or persistently
+        throttled): the prediction for that configuration no longer
+        describes what would actually execute, so the scheduler
+        re-selects from the surviving candidates instead.
+        """
+        if config not in self._quarantined:
+            self._quarantined.add(config)
+            _QUARANTINED.inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "scheduler-quarantine",
+                config=config.label(),
+                quarantined=len(self._quarantined),
+            )
+
+    def clear_quarantine(self) -> None:
+        """Re-admit every quarantined configuration."""
+        self._quarantined.clear()
+
+    def _mask_quarantined(
+        self, prediction: KernelPrediction, pw_bound: np.ndarray
+    ) -> np.ndarray:
+        """Power bounds with quarantined configurations forced to +inf
+        (never feasible, never the fallback).  No-op — and zero overhead
+        — while the quarantine set is empty.  If quarantine would
+        eliminate *every* candidate, it is ignored: the runtime must
+        still run the kernel somewhere.
+        """
+        if not self._quarantined:
+            return pw_bound
+        mask = np.fromiter(
+            (cfg in self._quarantined for cfg in prediction.config_tuple),
+            dtype=bool,
+            count=len(prediction.config_tuple),
+        )
+        if not mask.any() or mask.all():
+            return pw_bound
+        return np.where(mask, np.inf, pw_bound)
 
     # -- shared machinery --------------------------------------------------------
 
@@ -253,6 +309,7 @@ class Scheduler:
             pw_bound, perf_bound = self._bounds(
                 prediction, risk_averse, confidence_z
             )
+            pw_bound = self._mask_quarantined(prediction, pw_bound)
             feasible = pw_bound <= effective_cap
             feasible_idx = np.flatnonzero(feasible)
             if feasible_idx.size:
@@ -296,6 +353,7 @@ class Scheduler:
             pw_bound, perf_bound = self._bounds(
                 prediction, risk_averse, confidence_z
             )
+            pw_bound = self._mask_quarantined(prediction, pw_bound)
             scores = _objective_array(self.goal, pw_bound, perf_bound)
 
             # Prefix scan in ascending bounded-power order: best_at[j] is

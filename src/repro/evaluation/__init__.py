@@ -20,6 +20,11 @@ from repro.evaluation.experiments import (
     experiment_fig7_lu_frontier,
     experiment_table3_and_figures,
 )
+from repro.evaluation.golden import (
+    canonical_record,
+    record_lines,
+    records_digest,
+)
 from repro.evaluation.harness import CapEvaluation, evaluate_kernel, evaluate_suite
 from repro.evaluation.loocv import (
     LOOCVReport,
@@ -50,8 +55,11 @@ __all__ = [
     "LOOCVReport",
     "LOOCVTimings",
     "MethodSummary",
+    "canonical_record",
     "evaluate_kernel",
     "evaluate_suite",
+    "record_lines",
+    "records_digest",
     "experiment_fig2_table1_frontier",
     "experiment_fig3_tree",
     "experiment_fig7_lu_frontier",

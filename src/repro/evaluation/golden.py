@@ -1,0 +1,74 @@
+"""Golden-record digests: the machine-checked bit-identity invariant.
+
+Earlier PRs repeatedly claimed "``run_loocv(seed=0)`` records are
+bit-identical" after each refactor, verified by ad-hoc manual diffs.
+This module makes the claim a committed artifact: every
+:class:`~repro.evaluation.harness.CapEvaluation` record canonicalizes to
+a JSON line whose floats are rendered with :meth:`float.hex` (exact —
+two digests match iff every bit of every float matches), and the suite's
+records hash to one SHA-256 digest.  The frozen digest for
+``run_loocv(seed=0)`` lives at ``tests/golden/loocv_seed0.sha256``;
+``tests/test_golden_record.py`` asserts it on every run, so any change
+that perturbs results — however slightly — fails CI instead of slipping
+through a commit message.
+
+Record order matters (it is part of the protocol: folds in benchmark
+order, kernels in suite order, caps ascending per kernel, methods in
+evaluation order), so the digest covers the sequence, not a set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable
+
+from repro.evaluation.harness import CapEvaluation
+
+__all__ = ["canonical_record", "record_lines", "records_digest"]
+
+
+def _canon_float(value: float) -> str:
+    """Exact, locale-independent float rendering (bit-for-bit)."""
+    return float(value).hex()
+
+
+def canonical_record(record: CapEvaluation) -> dict[str, object]:
+    """The canonical plain-data form of one evaluation record.
+
+    Configurations render via :meth:`Configuration.label` (stable and
+    human-readable); floats via :func:`float.hex` so equality of the
+    canonical form is exactly bitwise equality of the record.
+    """
+    return {
+        "kernel_uid": record.kernel_uid,
+        "benchmark": record.benchmark,
+        "group": record.group,
+        "time_weight": _canon_float(record.time_weight),
+        "method": record.method,
+        "power_cap_w": _canon_float(record.power_cap_w),
+        "config": record.config.label(),
+        "power_w": _canon_float(record.power_w),
+        "performance": _canon_float(record.performance),
+        "oracle_config": record.oracle_config.label(),
+        "oracle_power_w": _canon_float(record.oracle_power_w),
+        "oracle_performance": _canon_float(record.oracle_performance),
+        "online_runs": record.online_runs,
+    }
+
+
+def record_lines(records: Iterable[CapEvaluation]) -> list[str]:
+    """One canonical JSON line per record, in input order."""
+    return [
+        json.dumps(canonical_record(r), sort_keys=True, separators=(",", ":"))
+        for r in records
+    ]
+
+
+def records_digest(records: Iterable[CapEvaluation]) -> str:
+    """SHA-256 hex digest of the canonicalized record sequence."""
+    h = hashlib.sha256()
+    for line in record_lines(records):
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()

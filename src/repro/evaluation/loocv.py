@@ -141,6 +141,7 @@ def run_loocv(
     n_jobs: int | None = None,
     store: CharacterizationStore | None = None,
     telemetry_out: str | Path | None = None,
+    fault_plan: "FaultPlan | str | Path | None" = None,
 ) -> LOOCVReport:
     """Run the paper's full cross-validated method comparison.
 
@@ -178,6 +179,15 @@ def run_loocv(
         Optional path: write the process's ``telemetry.json`` snapshot
         (span tree + metrics) after the run.  Telemetry only observes —
         records are bit-identical with it enabled, disabled, or written.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` (or path to a scenario
+        JSON) injected into the *online* measurement paths — sample
+        runs, limiter control loops — while offline training profiles
+        and the oracle's ground truth stay clean (see
+        ``docs/ROBUSTNESS.md``).  An empty plan reproduces the
+        fault-free records bit-for-bit.  Forces serial fold execution:
+        the injector's run clock is shared, so parallel folds would
+        make which run draws which fault nondeterministic.
 
     Returns
     -------
@@ -186,6 +196,15 @@ def run_loocv(
     suite = suite if suite is not None else build_suite()
     apu = TrinityAPU(seed=seed)
     oracle = Oracle(apu)
+    if fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        if isinstance(fault_plan, (str, Path)):
+            fault_plan = FaultPlan.from_file(fault_plan)
+        # Online paths only: the shared store profiles on its own
+        # machine, so offline characterization stays clean — matching a
+        # deployment whose training campaign predates the faults.
+        apu.inject_faults(fault_plan)
     if store is None:
         store = CharacterizationStore.shared(suite, seed=seed)
     report = LOOCVReport()
@@ -300,6 +319,15 @@ def run_loocv(
             warm.update(clustering=full_clustering, D=full_D, pool=pool)
 
         jobs = resolve_n_jobs(n_jobs)
+        if fault_plan is not None and jobs != 1:
+            log_event(
+                _log,
+                logging.WARNING,
+                "loocv-fault-plan-serial",
+                requested_n_jobs=jobs,
+                reason="fault injection shares one run clock across folds",
+            )
+            jobs = 1
         report.timings.n_jobs = jobs
         if jobs == 1:
             fold_results = [run_fold(i, b) for i, b in enumerate(benchmarks)]

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's online protocol assumes every sample run, counter read, and
+power measurement succeeds; production heterogeneous systems do not.
+This package makes measurement unreliability first-class:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — seed-driven, replayable
+  schedules of sensor dropouts, reading bias, counter corruption, stuck
+  or unavailable P-states, thermal-throttle episodes, and failed runs
+  (:mod:`repro.faults.plan`);
+* :class:`FaultInjector` — wraps the machine's measurement paths and
+  perturbs them per plan, leaving ground truth untouched
+  (:mod:`repro.faults.injector`);
+* :class:`SampleRunError` plus measurement-hygiene helpers — what the
+  online pipeline catches and sanitizes when it degrades gracefully
+  (retry with capped backoff, conservative-cluster fallback, P-state
+  quarantine, worst-case limiter readings).
+
+Attach a plan to a machine with ``apu.inject_faults(plan)``, or replay a
+scenario end to end with ``run_loocv(..., fault_plan=...)`` / the CLI's
+``--fault-plan``.  See ``docs/ROBUSTNESS.md`` for the taxonomy and the
+degradation semantics.
+"""
+
+from repro.faults.errors import SampleRunError
+from repro.faults.injector import (
+    FALLBACK_CPU_PLANE_W,
+    FALLBACK_NBGPU_PLANE_W,
+    FALLBACK_TIME_S,
+    FaultInjector,
+    RunContext,
+    conservative_measurement,
+    measurement_is_finite,
+    sanitize_measurement,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PSTATE_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "FALLBACK_CPU_PLANE_W",
+    "FALLBACK_NBGPU_PLANE_W",
+    "FALLBACK_TIME_S",
+    "FAULT_KINDS",
+    "PSTATE_FAULT_KINDS",
+    "SENSOR_FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RunContext",
+    "SampleRunError",
+    "conservative_measurement",
+    "measurement_is_finite",
+    "sanitize_measurement",
+]

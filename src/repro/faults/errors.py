@@ -1,0 +1,22 @@
+"""Fault-injection error types.
+
+Kept in a leaf module with no intra-package imports so that low-level
+hardware modules (e.g. :mod:`repro.hardware.rapl`) can catch
+:class:`SampleRunError` without creating an import cycle through the
+rest of :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SampleRunError"]
+
+
+class SampleRunError(RuntimeError):
+    """A measured kernel execution failed outright.
+
+    Raised by :meth:`repro.faults.FaultInjector.begin_run` when an
+    active ``run_failure`` event covers the run: the invocation produced
+    no measurement at all (crashed process, lost sensor packet, evicted
+    co-tenant).  Consumers are expected to retry with backoff or degrade
+    gracefully — never to treat it as a programming error.
+    """

@@ -175,6 +175,9 @@ class TrinityAPU:
         self.boost = boost
         self.config_space = ConfigSpace()
         self._rng = np.random.default_rng(seed)
+        # Optional fault injector (repro.faults): when attached, every
+        # measured run passes through it — ground truth is unaffected.
+        self.fault_injector = None
         # Ground truth is a pure function of (characteristics, config)
         # when boost is off, and the evaluation protocol revisits the
         # same pairs constantly (oracle frontiers, limiter traces), so
@@ -313,6 +316,32 @@ class TrinityAPU:
             for cfg in self.config_space
         }
 
+    # -- fault injection (repro.faults) ----------------------------------------
+
+    def inject_faults(self, faults) -> object | None:
+        """Attach (or detach, with ``None``) a fault plan to the machine.
+
+        ``faults`` may be a :class:`repro.faults.FaultPlan` or an
+        existing :class:`repro.faults.FaultInjector` (to share one run
+        clock across machines).  Returns the active injector.  Only
+        *measured* runs are perturbed; ground truth stays exact, so
+        oracle baselines and harness judgments are unaffected.
+        """
+        if faults is None:
+            self.fault_injector = None
+            return None
+        from repro.faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, FaultInjector):
+            self.fault_injector = faults
+        elif isinstance(faults, FaultPlan):
+            self.fault_injector = FaultInjector(faults)
+        else:
+            raise TypeError(
+                f"expected FaultPlan or FaultInjector, got {type(faults).__name__}"
+            )
+        return self.fault_injector
+
     # -- measurement -----------------------------------------------------------
 
     def run(
@@ -324,6 +353,12 @@ class TrinityAPU:
     ) -> Measurement:
         """Execute one kernel invocation and return a noisy measurement.
 
+        With a fault injector attached (:meth:`inject_faults`), the run
+        first passes through :meth:`repro.faults.FaultInjector.begin_run`
+        — which may raise :class:`repro.faults.SampleRunError` or
+        substitute the executed P-state — and the readings through the
+        run's sensor faults.
+
         Parameters
         ----------
         kernel:
@@ -334,6 +369,20 @@ class TrinityAPU:
             Optional generator for the measurement noise; defaults to the
             machine's internal stream.
         """
+        inj = self.fault_injector
+        if inj is None:
+            return self._run_clean(kernel, cfg, rng=rng)
+        ctx = inj.begin_run(cfg)
+        return ctx.apply(self._run_clean(kernel, ctx.config, rng=rng))
+
+    def _run_clean(
+        self,
+        kernel: object,
+        cfg: Configuration,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Measurement:
+        """The fault-free measurement path (ground truth + noise)."""
         chars = _characteristics(kernel)
 
         if self.boost is None and self._noise_mode != "scalar":

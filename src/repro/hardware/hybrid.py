@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constants import respects_cap
 from repro.hardware import pstates
 from repro.hardware.config import Configuration
 from repro.hardware.kernelmodel import (
@@ -179,7 +180,7 @@ def best_hybrid_under_cap(
         )
     best: HybridPoint | None = None
     for point in points:
-        if point.power_w > power_cap_w:
+        if not respects_cap(point.power_w, power_cap_w):
             continue
         if best is None or point.performance > best.performance:
             best = point

@@ -21,15 +21,25 @@ the CPU and GPU — and so do we, with the same semantics:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import respects_cap
+from repro.faults.errors import SampleRunError
 from repro.hardware import pstates
 from repro.hardware.apu import Measurement, TrinityAPU, _characteristics
 from repro.hardware.config import Configuration, Device
+from repro.telemetry import counter
 
 __all__ = ["FrequencyLimiter", "LimiterResult"]
+
+# Degradation accounting (docs/ROBUSTNESS.md): control-loop readings
+# the limiter had to treat as worst-case because the sensor dropped out
+# (non-finite power) or the run failed outright.
+_WORST_CASE_READS = counter("faults.limiter.worst_case_reads")
+_FAILED_RUNS = counter("faults.limiter.failed_runs")
 
 
 @dataclass(frozen=True)
@@ -41,12 +51,18 @@ class LimiterResult:
     final_config:
         Configuration the limiter settled on.
     final_measurement:
-        The measurement taken at the final configuration.
+        The measurement taken at the final configuration.  When that
+        run failed outright (injected fault), a placeholder with NaN
+        readings at the final configuration.
     met_cap:
-        Whether the final measured power is within the cap.
+        Whether the final *observed* power is within the cap (shared
+        :data:`repro.constants.CAP_EPSILON` tolerance).  Worst-case
+        reads never count as meeting the cap.
     trace:
-        Every (configuration, measured total power) the limiter visited,
-        in order — useful for inspecting convergence.
+        Every (configuration, observed total power) the limiter
+        visited, in order — useful for inspecting convergence.
+        Observed power is ``inf`` for a dropped-out or failed reading
+        (the worst-case assumption the controller acted on).
     """
 
     final_config: Configuration
@@ -100,6 +116,46 @@ class FrequencyLimiter:
     def __init__(self, apu: TrinityAPU) -> None:
         self.apu = apu
 
+    def _observe(
+        self,
+        kernel: object,
+        cfg: Configuration,
+        rng: np.random.Generator | None,
+    ) -> tuple[Measurement | None, float]:
+        """One control-loop reading: ``(measurement, observed power)``.
+
+        Real RAPL firmware cannot crash because an energy counter
+        glitched — a dropped-out sensor (non-finite power) or a failed
+        run reads as ``inf``, the worst case, so the controller steps
+        down instead of silently accepting an unknown draw.
+        """
+        try:
+            m = self.apu.run(kernel, cfg, rng=rng)
+        except SampleRunError:
+            _FAILED_RUNS.inc()
+            return None, math.inf
+        power = m.total_power_w
+        if not math.isfinite(power):
+            _WORST_CASE_READS.inc()
+            return m, math.inf
+        return m, power
+
+    @staticmethod
+    def _final_measurement(
+        m: Measurement | None, cfg: Configuration
+    ) -> Measurement:
+        """The settled measurement, or a NaN placeholder when the final
+        run produced none."""
+        if m is not None:
+            return m
+        return Measurement(
+            config=cfg,
+            time_s=math.nan,
+            cpu_plane_w=math.nan,
+            nbgpu_plane_w=math.nan,
+            counters={},
+        )
+
     def limit(
         self,
         kernel: object,
@@ -123,10 +179,10 @@ class FrequencyLimiter:
         kernel = _characteristics(kernel)
         trace: list[tuple[Configuration, float]] = []
         cfg = start
-        m = self.apu.run(kernel, cfg, rng=rng)
-        trace.append((cfg, m.total_power_w))
+        m, observed = self._observe(kernel, cfg, rng)
+        trace.append((cfg, observed))
 
-        while m.total_power_w > power_cap_w:
+        while not respects_cap(observed, power_cap_w):
             if cfg.device is Device.GPU:
                 nxt = _step_down_gpu(cfg) or _step_down_cpu(cfg)
             else:
@@ -134,13 +190,13 @@ class FrequencyLimiter:
             if nxt is None:
                 break
             cfg = nxt
-            m = self.apu.run(kernel, cfg, rng=rng)
-            trace.append((cfg, m.total_power_w))
+            m, observed = self._observe(kernel, cfg, rng)
+            trace.append((cfg, observed))
 
         return LimiterResult(
             final_config=cfg,
-            final_measurement=m,
-            met_cap=m.total_power_w <= power_cap_w,
+            final_measurement=self._final_measurement(m, cfg),
+            met_cap=respects_cap(observed, power_cap_w),
             trace=tuple(trace),
         )
 
@@ -167,21 +223,23 @@ class FrequencyLimiter:
             return result
 
         # Exploit headroom: raise host CPU frequency while under the cap.
+        # A worst-case read (dropout / failed run) observes as inf, so
+        # the step-up backs off exactly like a genuine violation.
         trace = list(result.trace)
         cfg, m = result.final_config, result.final_measurement
         while True:
             nxt = _step_up_cpu(cfg)
             if nxt is None:
                 break
-            m_next = self.apu.run(kernel, nxt, rng=rng)
-            trace.append((nxt, m_next.total_power_w))
-            if m_next.total_power_w > power_cap_w:
+            m_next, observed = self._observe(kernel, nxt, rng)
+            trace.append((nxt, observed))
+            if not respects_cap(observed, power_cap_w):
                 break  # back off: keep the last compliant config
             cfg, m = nxt, m_next
         return LimiterResult(
             final_config=cfg,
             final_measurement=m,
-            met_cap=m.total_power_w <= power_cap_w,
+            met_cap=True,  # settled on the last cap-compliant reading
             trace=tuple(trace),
         )
 

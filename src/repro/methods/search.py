@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import respects_cap
 from repro.core.sample_configs import CPU_SAMPLE
 from repro.hardware import pstates
 from repro.hardware.apu import TrinityAPU
@@ -66,7 +67,9 @@ class ExhaustiveSearch(PowerLimitMethod):
         self.prepare(kernel)
         table = self._tables[kernel.uid]
         feasible = {
-            cfg: perf for cfg, (pw, perf) in table.items() if pw <= power_cap_w
+            cfg: perf
+            for cfg, (pw, perf) in table.items()
+            if respects_cap(pw, power_cap_w)
         }
         if feasible:
             cfg = max(feasible, key=feasible.get)
@@ -151,7 +154,7 @@ class HillClimbing(PowerLimitMethod):
         (pw, perf), fresh = self._measure(kernel, CPU_SAMPLE)
         runs += fresh
         current, current_perf = CPU_SAMPLE, perf
-        current_feasible = pw <= power_cap_w
+        current_feasible = respects_cap(pw, power_cap_w)
 
         best_feasible: tuple[Configuration, float] | None = (
             (current, current_perf) if current_feasible else None
@@ -165,7 +168,7 @@ class HillClimbing(PowerLimitMethod):
                 runs += fresh
                 if npw < fallback[1]:
                     fallback = (nb, npw)
-                if npw > power_cap_w:
+                if not respects_cap(npw, power_cap_w):
                     continue
                 if best_feasible is None or nperf > best_feasible[1]:
                     best_feasible = (nb, nperf)

@@ -144,8 +144,20 @@ class ProfilingLibrary:
         chars = kernel if not hasattr(kernel, "characteristics") else (
             kernel.characteristics
         )
+
+        # Fault injection: the run clock advances per profile attempt
+        # (failed attempts included), may raise SampleRunError, and may
+        # substitute the executed P-state.  Run identity — the noise
+        # stream and repetition count — stays keyed by the *requested*
+        # configuration, so an empty plan replays bit-identically and a
+        # retry after a failure draws fresh noise.
+        fctx = None
+        if self.apu.fault_injector is not None:
+            fctx = self.apu.fault_injector.begin_run(config)
+        exec_config = config if fctx is None else fctx.config
+
         memo_key = None
-        if self.apu.boost is None:
+        if self.apu.boost is None and (fctx is None or fctx.clean):
             memo_key = (
                 self.apu.power_constants,
                 self.apu.noise,
@@ -166,8 +178,8 @@ class ProfilingLibrary:
             _PROFILE_MISSES.inc()
 
         rng = self._run_rng(uid, config, repetition)
-        true_t = self.apu.true_time_s(kernel, config)
-        true_pb = self.apu.true_power(kernel, config)
+        true_t = self.apu.true_time_s(kernel, exec_config)
+        true_pb = self.apu.true_power(kernel, exec_config)
 
         # Integrate each power plane from its own sampled trace.
         cpu_sp = self.sampler.sample(true_pb.cpu_plane_w, true_t, rng)
@@ -180,15 +192,17 @@ class ProfilingLibrary:
         measured_t = noisy_t + sampling_overhead
 
         counters = self.apu.noise.perturb_counters(
-            synthesize_counters(chars, config), rng
+            synthesize_counters(chars, exec_config), rng
         )
         measurement = Measurement(
-            config=config,
+            config=exec_config,
             time_s=measured_t,
             cpu_plane_w=cpu_sp.mean_power_w,
             nbgpu_plane_w=nbgpu_sp.mean_power_w,
             counters=counters,
         )
+        if fctx is not None:
+            measurement = fctx.apply(measurement)
         if memo_key is not None:
             _PROFILE_CACHE[memo_key] = (measurement, sampling_overhead)
             _PROFILE_SIZE.set(len(_PROFILE_CACHE))

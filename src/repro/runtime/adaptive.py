@@ -37,13 +37,15 @@ from repro.core.model import AdaptiveModel
 from repro.core.predictor import KernelPrediction
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
 from repro.core.scheduler import Scheduler
+from repro.faults import SampleRunError, measurement_is_finite, sanitize_measurement
 from repro.hardware.config import Configuration
 from repro.hardware.rapl import FrequencyLimiter
 from repro.methods.oracle import Oracle
 from repro.profiling.library import ProfilingLibrary
+from repro.profiling.records import KernelProfile
 from repro.runtime.application import Application
 from repro.runtime.trace import ApplicationTrace, KernelExecution
-from repro.telemetry import counter, get_logger, log_event
+from repro.telemetry import counter, get_logger, log_event, trace_span
 from repro.workloads.kernel import Kernel
 
 __all__ = ["AdaptiveRuntime", "StaticRuntime", "OracleRuntime", "CapSchedule"]
@@ -55,6 +57,22 @@ _log = get_logger(__name__)
 # against the timestep's cap with the shared CAP_EPSILON tolerance.
 _INVOCATIONS = counter("runtime.invocations")
 _CAP_VIOLATIONS = counter("runtime.cap_violations")
+
+# Degradation accounting (docs/ROBUSTNESS.md): retries after failed
+# invocations, invocations abandoned after the retry budget, executions
+# whose reported P-state differed from the requested one, and sample
+# measurements sanitized before classification.
+_RETRIES = counter("faults.retries")
+_FAILED_INVOCATIONS = counter("faults.failed_invocations")
+_STUCK_EXECUTIONS = counter("faults.stuck_executions")
+_CORRUPT_SAMPLES = counter("faults.corrupt_samples")
+
+#: Default retry budget and capped-exponential-backoff shape for failed
+#: kernel invocations (simulated wall-clock seconds, charged to the
+#: application trace).
+DEFAULT_RETRY_LIMIT: int = 3
+DEFAULT_BACKOFF_BASE_S: float = 0.01
+DEFAULT_BACKOFF_CAP_S: float = 0.08
 
 #: A power cap per timestep: constant, or a function of the timestep.
 CapSchedule = float | Callable[[int], float]
@@ -89,6 +107,17 @@ class AdaptiveRuntime:
         power still violates the cap; the refined configuration is
         remembered per (kernel, cap) so the limiter's step-down runs
         pay off across timesteps.
+    retry_limit, backoff_base_s, backoff_cap_s:
+        Graceful-degradation knobs for failed invocations (injected
+        :class:`repro.faults.SampleRunError`): up to ``retry_limit``
+        retries with capped exponential backoff, the wait charged to
+        the trace; an invocation that exhausts the budget is recorded
+        with ``phase="failed"`` and zero power.
+    quarantine_stuck:
+        When a *scheduled* execution reports a different P-state than
+        requested (stuck/throttled hardware), quarantine the requested
+        configuration in the scheduler so later selections re-select
+        from the surviving frontier.
     """
 
     def __init__(
@@ -99,11 +128,23 @@ class AdaptiveRuntime:
         scheduler: Scheduler | None = None,
         risk_averse: bool = False,
         frequency_limiter: bool = False,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        quarantine_stuck: bool = True,
     ) -> None:
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
         self.model = model
         self.library = library
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.risk_averse = risk_averse
+        self.retry_limit = retry_limit
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.quarantine_stuck = quarantine_stuck
         self._predictions: dict[str, KernelPrediction] = {}
         self._limiter = (
             FrequencyLimiter(library.apu) if frequency_limiter else None
@@ -145,8 +186,38 @@ class AdaptiveRuntime:
                     result = self._limiter.limit(kernel, cfg, cap)
                     self._limited[key] = result.final_config
                 cfg = self._limited[key]
-        profile = self.library.profile(kernel, cfg)
+        profile, wait_s = self._profile_with_retry(kernel, cfg)
+        if profile is None:
+            # Retry budget exhausted: record the lost invocation (zero
+            # work, backoff time charged) and move on — the application
+            # keeps running.
+            _FAILED_INVOCATIONS.inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "runtime-invocation-failed",
+                kernel=kernel.uid,
+                timestep=timestep,
+                phase=phase,
+                config=cfg.label(),
+                retries=self.retry_limit,
+                wait_s=round(wait_s, 4),
+            )
+            return KernelExecution(
+                timestep=timestep,
+                kernel_uid=kernel.uid,
+                config=cfg,
+                time_s=wait_s,
+                power_w=0.0,
+                power_cap_w=cap,
+                phase="failed",
+            )
         m = profile.measurement
+        executed = m.config
+        if executed != cfg:
+            # The hardware reports a different P-state than requested:
+            # stuck or thermally throttled.
+            self._note_stuck(kernel, cfg, executed, phase)
         _INVOCATIONS.inc()
         if not respects_cap(m.total_power_w, cap):
             _CAP_VIOLATIONS.inc()
@@ -159,32 +230,113 @@ class AdaptiveRuntime:
                 phase=phase,
                 cap_w=round(cap, 3),
                 power_w=round(m.total_power_w, 3),
-                config=cfg.label(),
+                config=executed.label(),
             )
         return KernelExecution(
             timestep=timestep,
             kernel_uid=kernel.uid,
-            config=cfg,
-            time_s=m.time_s,
+            config=executed,
+            time_s=m.time_s + wait_s,
             power_w=m.total_power_w,
             power_cap_w=cap,
             phase=phase,
         )
 
+    def _profile_with_retry(
+        self, kernel: Kernel, cfg: Configuration
+    ) -> tuple[KernelProfile | None, float]:
+        """Profile once, retrying failed runs with capped exponential
+        backoff.  Returns ``(profile, backoff seconds waited)``;
+        ``profile`` is ``None`` when the retry budget is exhausted."""
+        try:
+            return self.library.profile(kernel, cfg), 0.0
+        except SampleRunError:
+            pass
+        wait_s = 0.0
+        with trace_span("online/degraded"):
+            for attempt in range(self.retry_limit):
+                _RETRIES.inc()
+                wait_s += min(
+                    self.backoff_base_s * (2.0**attempt), self.backoff_cap_s
+                )
+                try:
+                    return self.library.profile(kernel, cfg), wait_s
+                except SampleRunError:
+                    continue
+        return None, wait_s
+
+    def _note_stuck(
+        self,
+        kernel: Kernel,
+        requested: Configuration,
+        executed: Configuration,
+        phase: str,
+    ) -> None:
+        """Degrade after a stuck/throttled execution: count it and, for
+        scheduled work, quarantine the configuration so the scheduler
+        re-selects from the surviving frontier next invocation."""
+        _STUCK_EXECUTIONS.inc()
+        if phase != "scheduled" or not self.quarantine_stuck:
+            return
+        with trace_span("online/degraded"):
+            self.scheduler.quarantine(requested)
+            # Limiter refinements pinned to the quarantined configuration
+            # are stale: drop them so the limiter re-walks from the
+            # scheduler's next choice.
+            self._limited = {
+                key: value
+                for key, value in self._limited.items()
+                if value != requested
+            }
+            log_event(
+                _log,
+                logging.WARNING,
+                "runtime-pstate-stuck",
+                kernel=kernel.uid,
+                requested=requested.label(),
+                executed=executed.label(),
+            )
+
     def _prediction_for(self, kernel: Kernel) -> KernelPrediction:
         if kernel.uid not in self._predictions:
             history = self.library.database.for_kernel(kernel.uid)
+            # The first two recorded profiles are the sample runs, in
+            # protocol order.  Match by configuration when possible; a
+            # P-state fault during sampling substitutes the executed
+            # configuration, in which case fall back to record order.
             cpu_m = next(
-                p.measurement for p in history if p.config == CPU_SAMPLE
+                (p.measurement for p in history if p.config == CPU_SAMPLE),
+                history[0].measurement,
             )
             gpu_m = next(
-                p.measurement for p in history if p.config == GPU_SAMPLE
+                (p.measurement for p in history if p.config == GPU_SAMPLE),
+                history[1].measurement,
             )
+            cluster = None
+            if not (
+                measurement_is_finite(cpu_m) and measurement_is_finite(gpu_m)
+            ):
+                # Corrupt classification inputs (dropout/NaN during the
+                # sample runs): sanitize the anchors and skip the tree in
+                # favour of the conservative default cluster.
+                with trace_span("online/degraded"):
+                    _CORRUPT_SAMPLES.inc()
+                    cpu_m = sanitize_measurement(cpu_m)
+                    gpu_m = sanitize_measurement(gpu_m)
+                    cluster = self.model.default_cluster
+                    log_event(
+                        _log,
+                        logging.WARNING,
+                        "runtime-corrupt-samples",
+                        kernel=kernel.uid,
+                        fallback_cluster=cluster,
+                    )
             self._predictions[kernel.uid] = self.model.predict_kernel(
                 cpu_m,
                 gpu_m,
                 kernel_uid=kernel.uid,
                 with_uncertainty=self.risk_averse,
+                cluster=cluster,
             )
         return self._predictions[kernel.uid]
 

@@ -7,7 +7,10 @@ misclassification, and pathological kernels.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.constants import respects_cap
 from repro.core import (
     CPU_SAMPLE,
     GPU_SAMPLE,
@@ -24,6 +27,7 @@ from repro.hardware import (
     FrequencyLimiter,
     NoiseModel,
     TrinityAPU,
+    pstates,
 )
 from repro.profiling import ProfilingLibrary
 from repro.stats import kendall_tau
@@ -168,3 +172,98 @@ class TestLimiterUnderNoise:
         k = make_kernel()
         res = fl.limit(k, Configuration.gpu(0.819, 3.7), 25.0)
         assert res.final_config.device.value in ("cpu", "gpu")
+
+
+class TestLimiterProperties:
+    """Hypothesis properties of the frequency-limiting control loop."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cap=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        ci=st.integers(min_value=0, max_value=5),
+        n_threads=st.integers(min_value=1, max_value=4),
+    )
+    def test_cpu_limit_terminates_within_ladder_depth(
+        self, cap, seed, ci, n_threads
+    ):
+        """The loop can only walk *down* from the start P-state: at most
+        ``ci`` steps, then it must stop — whatever the noise does."""
+        apu = TrinityAPU(seed=0)
+        start = Configuration.cpu(pstates.CPU_FREQS_GHZ[ci], n_threads)
+        res = FrequencyLimiter(apu).limit(
+            make_kernel(), start, cap, rng=np.random.default_rng(seed)
+        )
+        assert len(res.trace) <= 1 + ci
+        assert res.final_config in apu.config_space
+        assert not res.final_config.is_gpu  # never changes device
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cap=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        gi=st.integers(min_value=0, max_value=2),
+        ci=st.integers(min_value=0, max_value=5),
+    )
+    def test_gpu_limit_terminates_within_both_ladders(self, cap, seed, gi, ci):
+        apu = TrinityAPU(seed=0)
+        start = Configuration.gpu(
+            pstates.GPU_FREQS_GHZ[gi], pstates.CPU_FREQS_GHZ[ci]
+        )
+        res = FrequencyLimiter(apu).limit(
+            make_kernel(), start, cap, rng=np.random.default_rng(seed)
+        )
+        # GPU ladder first, then the host CPU ladder.
+        assert len(res.trace) <= 1 + gi + ci
+        assert res.final_config.is_gpu
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cap=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_headroom_policy_bounded_by_ladder_sum(self, cap, seed):
+        apu = TrinityAPU(seed=0)
+        res = FrequencyLimiter(apu).limit_gpu_with_headroom(
+            make_kernel(), cap, rng=np.random.default_rng(seed)
+        )
+        # Down both ladders (<= 8 readings), then the host steps back up
+        # through at most the 5 remaining CPU states.
+        assert len(res.trace) <= 13
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cap=st.floats(min_value=5.0, max_value=60.0),
+        ci=st.integers(min_value=0, max_value=5),
+        n_threads=st.integers(min_value=1, max_value=4),
+    )
+    def test_zero_noise_never_settles_above_cap(self, cap, ci, n_threads):
+        """Under an exact noise model, observations equal ground truth,
+        so ``met_cap`` means the settled configuration genuinely
+        respects the cap — and a miss means the ladder floor."""
+        apu = TrinityAPU(noise=NoiseModel.exact(), seed=0)
+        start = Configuration.cpu(pstates.CPU_FREQS_GHZ[ci], n_threads)
+        res = FrequencyLimiter(apu).limit(make_kernel(), start, cap)
+        if res.met_cap:
+            assert respects_cap(res.final_measurement.total_power_w, cap)
+        else:
+            assert res.final_config.cpu_freq_ghz == pstates.CPU_FREQS_GHZ[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cap=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        ci=st.integers(min_value=0, max_value=5),
+    )
+    def test_deterministic_for_fixed_generator_seed(self, cap, seed, ci):
+        k = make_kernel()
+        start = Configuration.cpu(pstates.CPU_FREQS_GHZ[ci], 4)
+        results = [
+            FrequencyLimiter(TrinityAPU(seed=0)).limit(
+                k, start, cap, rng=np.random.default_rng(seed)
+            )
+            for _ in range(2)
+        ]
+        assert results[0].trace == results[1].trace
+        assert results[0].final_config == results[1].final_config
+        assert results[0].met_cap == results[1].met_cap

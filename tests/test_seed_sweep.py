@@ -1,0 +1,55 @@
+"""Seed-sweep smoke test: cross-validation invariants across seeds.
+
+``run_loocv`` must uphold its structural invariants for *any* profiling
+seed, not just the golden-record seed 0:
+
+* the oracle column is exactly cap-compliant (it is defined as the best
+  *truly* feasible configuration, judged with the shared
+  :data:`repro.constants.CAP_EPSILON` tolerance);
+* no under-limit record outperforms the oracle — the oracle maximizes
+  true performance over the cap-feasible set, so beating it would mean
+  the harness judged something outside ground truth;
+* every record is structurally sound (positive measurements, known
+  method, non-negative online-iteration counts).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import CAP_EPSILON, respects_cap
+from repro.evaluation import run_loocv
+
+SEEDS = range(5)
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=[f"seed{s}" for s in SEEDS])
+def report(request):
+    return run_loocv(seed=request.param)
+
+
+def test_records_exist(report):
+    assert len(report.records) > 0
+
+
+def test_oracle_respects_cap_everywhere(report):
+    for r in report.records:
+        assert respects_cap(r.oracle_power_w, r.power_cap_w)
+
+
+def test_no_method_beats_the_oracle_under_limit(report):
+    for r in report.records:
+        if r.under_limit:
+            assert r.performance <= r.oracle_performance * (1.0 + CAP_EPSILON)
+
+
+def test_records_are_structurally_sound(report):
+    for r in report.records:
+        assert math.isfinite(r.performance) and r.performance > 0
+        assert math.isfinite(r.power_w) and r.power_w > 0
+        assert math.isfinite(r.oracle_performance) and r.oracle_performance > 0
+        assert r.online_runs >= 0
+        assert r.method
+        assert r.kernel_uid
