@@ -202,6 +202,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="fleet-scale budget allocation over a synthesized node pool",
+    )
+    p_cluster.add_argument(
+        "--policy",
+        choices=("uniform", "greedy", "maxmin"),
+        default="greedy",
+        help="allocation policy (default greedy)",
+    )
+    p_cluster.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="datacenter budget in watts (default: 1.3x the fleet's floors)",
+    )
+    p_cluster.add_argument(
+        "--n-nodes", type=int, default=1024, help="fleet size (default 1024)"
+    )
+    p_cluster.add_argument(
+        "--epochs",
+        type=int,
+        default=3,
+        help="allocation epochs to run (default 3)",
+    )
+    p_cluster.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="nodes that leave the fleet each epoch after the first "
+        "(exercises dynamic membership; default 0)",
+    )
+    p_cluster.add_argument(
+        "--tree",
+        action="store_true",
+        help="split the budget through a node->rack->row->datacenter "
+        "BudgetTree instead of one flat allocation",
+    )
+    p_cluster.add_argument("--telemetry-out", default=None, help=telemetry_help)
+
     p_tel = sub.add_parser(
         "telemetry", help="pretty-print a saved telemetry report"
     )
@@ -398,6 +438,77 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.cluster import (
+        BudgetTree,
+        FrontierPool,
+        allocate_pool,
+        pool_allocation_summary,
+    )
+
+    if args.n_nodes < 1:
+        print("error: --n-nodes must be >= 1", file=sys.stderr)
+        return 2
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.churn < 0:
+        print("error: --churn must be >= 0", file=sys.stderr)
+        return 2
+    pool = FrontierPool.synthesize(args.n_nodes, seed=args.seed)
+    budget = (
+        args.budget
+        if args.budget is not None
+        else float(np.sum(pool.floors())) * 1.3
+    )
+    tree = BudgetTree.regular(pool) if args.tree else None
+    log_event(
+        _log,
+        logging.INFO,
+        "cluster-start",
+        n_nodes=args.n_nodes,
+        policy=args.policy,
+        budget_w=round(budget, 1),
+        tree=args.tree,
+    )
+    print(
+        f"fleet of {args.n_nodes} synthesized nodes, policy {args.policy}, "
+        f"budget {budget:.1f} W"
+        + (" (hierarchical split)" if args.tree else "")
+    )
+    print(f"{'epoch':>5} {'nodes':>7} {'rate':>12} {'power_w':>12} "
+          f"{'slack_w':>10} {'alloc_ms':>9}")
+    departed: list[str] = []
+    for epoch in range(args.epochs):
+        if epoch and args.churn:
+            survivors = pool.active_names()
+            leaving = survivors[: min(args.churn, max(0, len(survivors) - 1))]
+            pool.deactivate(leaving)
+            departed.extend(leaving)
+        t0 = time.perf_counter()
+        if tree is not None:
+            caps = tree.allocate(budget, args.policy)
+        else:
+            caps = allocate_pool(pool, budget, args.policy)
+        alloc_ms = (time.perf_counter() - t0) * 1e3
+        s = pool_allocation_summary(pool, caps, budget)
+        print(
+            f"{epoch:>5} {pool.n_active:>7} {s['predicted_rate']:>12.2f} "
+            f"{s['predicted_power_w']:>12.1f} {s['slack_w']:>10.1f} "
+            f"{alloc_ms:>9.2f}"
+        )
+    if departed:
+        print(f"{len(departed)} nodes departed over the run")
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     try:
         data = load_telemetry(args.path)
@@ -418,6 +529,7 @@ _COMMANDS = {
     "accuracy": _cmd_accuracy,
     "runtime": _cmd_runtime,
     "report": _cmd_report,
+    "cluster": _cmd_cluster,
     "telemetry": _cmd_telemetry,
 }
 

@@ -1,0 +1,197 @@
+"""Cluster-tier fault schedules: nodes die, leave, and go stale.
+
+The PR 5 fault layer (:mod:`repro.faults`) perturbs *measurements*
+inside one node; a fleet additionally loses whole nodes.  This module
+schedules those losses on the **epoch clock** of
+:class:`~repro.cluster.manager.ClusterPowerManager` — deterministic and
+replayable, like :class:`~repro.faults.plan.FaultPlan` is on the run
+clock — and the manager degrades gracefully instead of crashing the
+epoch loop:
+
+* ``node_dead`` — the node crashes: it is dropped from allocation and
+  executes nothing while the event is active; its budget share
+  naturally redistributes to the survivors;
+* ``node_leave`` — planned departure (drain, maintenance): same
+  allocation effect as a death, counted separately;
+* ``stale_frontier`` — the node is alive but its predictions are not
+  trustworthy (e.g. its profiling refresh failed): the allocator sees
+  only the node's floor point, so it receives its minimum honourable
+  budget and still runs.
+
+Every applied event increments a ``faults.cluster.*`` counter in the
+telemetry registry.  Events naming nodes the manager does not know are
+counted (``faults.cluster.unknown_node``) and skipped — membership is
+dynamic by nature, so a stale plan must not kill the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["CLUSTER_FAULT_KINDS", "ClusterFaultEvent", "ClusterFaultPlan"]
+
+#: Schema version of the cluster fault-plan JSON format.
+CLUSTER_PLAN_FORMAT_VERSION = 1
+
+#: Every supported cluster-tier fault kind.
+CLUSTER_FAULT_KINDS: tuple[str, ...] = (
+    "node_dead",
+    "node_leave",
+    "stale_frontier",
+)
+
+
+@dataclass(frozen=True)
+class ClusterFaultEvent:
+    """One scheduled cluster fault episode.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`CLUSTER_FAULT_KINDS`.
+    node:
+        Name of the affected node.
+    start, duration:
+        Active for manager epochs ``start <= e < start + duration``.
+    """
+
+    kind: str
+    node: str
+    start: int
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLUSTER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown cluster fault kind {self.kind!r}; "
+                f"expected one of {CLUSTER_FAULT_KINDS}"
+            )
+        if not self.node:
+            raise ValueError("node must be non-empty")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+
+    @property
+    def stop(self) -> int:
+        """First epoch the event is no longer active at."""
+        return self.start + self.duration
+
+    def active_at(self, epoch: int) -> bool:
+        """Whether the event covers ``epoch``."""
+        return self.start <= epoch < self.stop
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """An immutable, replayable schedule of cluster fault events."""
+
+    events: tuple[ClusterFaultEvent, ...] = ()
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, ClusterFaultEvent):
+                raise TypeError(
+                    f"expected ClusterFaultEvent, got {type(ev).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ClusterFaultEvent]:
+        return iter(self.events)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan schedules no events at all."""
+        return not self.events
+
+    @property
+    def horizon(self) -> int:
+        """First epoch after which no event is ever active."""
+        return max((ev.stop for ev in self.events), default=0)
+
+    def active_events(self, epoch: int) -> tuple[ClusterFaultEvent, ...]:
+        """Events covering ``epoch``, in plan order."""
+        return tuple(ev for ev in self.events if ev.active_at(epoch))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the plan (the JSON file's payload)."""
+        return {
+            "version": CLUSTER_PLAN_FORMAT_VERSION,
+            "name": self.name,
+            "events": [asdict(ev) for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterFaultPlan":
+        """Inverse of :meth:`to_dict` (validates the schema version)."""
+        version = payload.get("version")
+        if version != CLUSTER_PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cluster fault-plan version {version!r} "
+                f"(expected {CLUSTER_PLAN_FORMAT_VERSION})"
+            )
+        events = tuple(
+            ClusterFaultEvent(**ev) for ev in payload.get("events", ())
+        )
+        return cls(events=events, name=str(payload.get("name", "unnamed")))
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the plan as committed-scenario JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ClusterFaultPlan":
+        """Load a scenario file written by :meth:`to_file`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- generators --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        node_names: Iterable[str],
+        *,
+        n_events: int = 4,
+        horizon: int = 8,
+        max_duration: int = 3,
+        kinds: Iterable[str] = CLUSTER_FAULT_KINDS,
+        name: str | None = None,
+    ) -> "ClusterFaultPlan":
+        """A deterministic pseudo-random plan over the named nodes."""
+        node_names = list(node_names)
+        if not node_names:
+            raise ValueError("node_names must be non-empty")
+        kinds = tuple(kinds)
+        unknown = set(kinds) - set(CLUSTER_FAULT_KINDS)
+        if not kinds or unknown:
+            raise ValueError(f"bad fault kinds: {sorted(unknown) or kinds}")
+        if n_events < 0:
+            raise ValueError("n_events must be >= 0")
+        rng = np.random.default_rng(seed)
+        events = tuple(
+            ClusterFaultEvent(
+                kind=kinds[int(rng.integers(len(kinds)))],
+                node=node_names[int(rng.integers(len(node_names)))],
+                start=int(rng.integers(max(1, horizon))),
+                duration=int(rng.integers(1, max(2, max_duration + 1))),
+            )
+            for _ in range(n_events)
+        )
+        return cls(
+            events=events, name=name if name is not None else f"random-{seed}"
+        )

@@ -19,13 +19,21 @@ from repro.cluster.allocation import (
     maxmin_allocation,
     uniform_allocation,
 )
+from repro.cluster.faults import CLUSTER_FAULT_KINDS, ClusterFaultPlan
 from repro.cluster.node import ClusterNode, NodeFrontier
 from repro.constants import respects_cap
 from repro.runtime.trace import ApplicationTrace
+from repro.telemetry import counter
 
 __all__ = ["EpochResult", "ClusterReport", "ClusterPowerManager"]
 
 AllocationPolicy = Literal["uniform", "greedy", "maxmin"]
+
+_FAULT_COUNTS = {
+    kind: counter(f"faults.cluster.{kind}") for kind in CLUSTER_FAULT_KINDS
+}
+_FAULT_UNKNOWN = counter("faults.cluster.unknown_node")
+_EPOCHS_DEGRADED = counter("faults.cluster.epochs_degraded")
 
 
 @dataclass(frozen=True)
@@ -75,8 +83,9 @@ class EpochResult:
 
     @property
     def makespan_s(self) -> float:
-        """Epoch wall time: the slowest node's execution time."""
-        return max(t.total_time_s for t in self.traces.values())
+        """Epoch wall time: the slowest node's execution time (zero if
+        every node was lost to faults this epoch)."""
+        return max((t.total_time_s for t in self.traces.values()), default=0.0)
 
 
 @dataclass
@@ -90,9 +99,7 @@ class ClusterReport:
     def total_time_s(self) -> float:
         """Cluster wall time: nodes run in parallel, so each epoch costs
         the slowest node's time."""
-        return sum(
-            max(t.total_time_s for t in e.traces.values()) for e in self.epochs
-        )
+        return sum(e.makespan_s for e in self.epochs)
 
     @property
     def total_node_seconds(self) -> float:
@@ -133,6 +140,13 @@ class ClusterPowerManager:
         ``"greedy"`` (throughput-maximizing water-filling, default),
         ``"maxmin"`` (makespan-friendly max-min fairness), or
         ``"uniform"``.
+    fault_plan:
+        Optional :class:`~repro.cluster.faults.ClusterFaultPlan`
+        scheduled on the epoch clock: dead/leaving nodes are dropped
+        from allocation and execution (their budget redistributes to
+        the survivors), stale-frontier nodes are allocated from their
+        floor point only.  Every applied event increments a
+        ``faults.cluster.*`` counter.
     """
 
     def __init__(
@@ -140,6 +154,7 @@ class ClusterPowerManager:
         nodes: Sequence[ClusterNode],
         *,
         policy: AllocationPolicy = "greedy",
+        fault_plan: ClusterFaultPlan | None = None,
     ) -> None:
         if not nodes:
             raise ValueError("cluster needs at least one node")
@@ -150,6 +165,9 @@ class ClusterPowerManager:
             raise ValueError(f"unknown allocation policy {policy!r}")
         self.nodes = {n.name: n for n in nodes}
         self.policy = policy
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else ClusterFaultPlan()
+        )
         self._frontiers: dict[str, NodeFrontier] | None = None
 
     def frontiers(self) -> dict[str, NodeFrontier]:
@@ -160,9 +178,40 @@ class ClusterPowerManager:
             }
         return self._frontiers
 
-    def allocate(self, budget_w: float) -> dict[str, float]:
+    def _effective_frontiers(
+        self, epoch: int
+    ) -> tuple[dict[str, NodeFrontier], set[str]]:
+        """The frontiers the allocator may trust at ``epoch``, after the
+        fault plan: returns ``(frontiers, lost_nodes)`` where lost nodes
+        are dead or departed and must not execute."""
+        frontiers = dict(self.frontiers())
+        lost: set[str] = set()
+        degraded = False
+        for ev in self.fault_plan.active_events(epoch):
+            if ev.node not in self.nodes:
+                _FAULT_UNKNOWN.inc()
+                continue
+            _FAULT_COUNTS[ev.kind].inc()
+            degraded = True
+            if ev.kind in ("node_dead", "node_leave"):
+                frontiers.pop(ev.node, None)
+                lost.add(ev.node)
+            else:  # stale_frontier
+                if ev.node in frontiers:
+                    stale = frontiers[ev.node]
+                    frontiers[ev.node] = NodeFrontier([stale.points[0]])
+        if degraded:
+            _EPOCHS_DEGRADED.inc()
+        return frontiers, lost
+
+    def allocate(
+        self,
+        budget_w: float,
+        frontiers: Mapping[str, NodeFrontier] | None = None,
+    ) -> dict[str, float]:
         """Split the budget into per-node caps under the active policy."""
-        frontiers = self.frontiers()
+        if frontiers is None:
+            frontiers = self.frontiers()
         if self.policy == "uniform":
             return uniform_allocation(budget_w, frontiers)
         if self.policy == "maxmin":
@@ -191,10 +240,12 @@ class ClusterPowerManager:
             budget = float(
                 budgets_w(epoch) if callable(budgets_w) else budgets_w[epoch]
             )
-            caps = self.allocate(budget)
+            frontiers, lost = self._effective_frontiers(epoch)
+            caps = self.allocate(budget, frontiers) if frontiers else {}
             traces = {
-                name: node.run(timesteps_per_epoch, caps[name])
-                for name, node in self.nodes.items()
+                name: self.nodes[name].run(timesteps_per_epoch, caps[name])
+                for name in caps
+                if name not in lost
             }
             report.epochs.append(
                 EpochResult(

@@ -1,0 +1,298 @@
+"""Hierarchical budget splitting: node → rack → row → datacenter.
+
+A real fleet does not hand one flat budget to 100k nodes — power
+constraints "filter down from the system level to individual nodes"
+(the paper's framing) through the physical distribution hierarchy:
+the datacenter feed splits over rows, each row over its racks, each
+rack over its nodes.  :class:`BudgetTree` models exactly that topology
+on top of a :class:`~repro.cluster.pool.FrontierPool`, reusing the
+vectorized allocation kernels at every level:
+
+* each **rack** is summarized by an *aggregate frontier*: its members'
+  floors summed, plus their marginal steps merged in best-first
+  (exposure-utility) order — "if this rack's budget were b, what total
+  rate would it sustain?";
+* each **row** aggregates its racks the same way (merging already-
+  sorted rack menus keeps the global utility order);
+* :meth:`BudgetTree.allocate` then runs the requested policy top-down:
+  datacenter budget over row aggregates, each row's share over its
+  rack aggregates, each rack's share over its member nodes.
+
+Aggregates are cached per rack and keyed by the rack's active-member
+set, so dynamic membership (nodes dying, leaving, or joining the
+pool) rebuilds only the touched racks — the untouched fleet's sorted
+menus are reused as-is.  Operators can also move watts between racks
+(:meth:`BudgetTree.shift_budget`) without touching the pool at all;
+shifts are zero-sum, so the datacenter total is preserved, and a rack
+pushed below its floor degrades gracefully through the kernels'
+proportional floor scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.cluster.allocation import allocate_pool
+from repro.cluster.pool import FrontierPool
+from repro.telemetry import counter, trace_span
+
+__all__ = ["BudgetTree"]
+
+_TREE_CALLS = counter("cluster.alloc.tree.calls")
+_TREE_RACK_REBUILDS = counter("cluster.alloc.tree.rack_rebuilds")
+
+
+def _aggregate_frontier(
+    subpool: FrontierPool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse a subpool into one aggregate frontier.
+
+    Returns ``(caps, rates, powers)`` arrays: point 0 is the summed
+    floors, and each further point takes one more member step in the
+    greedy exposure-utility order — the menu the parent level
+    water-fills over.
+    """
+    view = subpool.view()
+    floor_idx = view.offsets[:-1]
+    base_cap = float(np.sum(view.caps[floor_idx]))
+    base_rate = float(np.sum(view.rates[floor_idx]))
+    base_power = float(np.sum(view.powers[floor_idx]))
+    perm, sp, _sn, cum, *_ = view.order_bundle("greedy")
+    # Rate and expected-power deltas per step, in the same node-major
+    # step order the bundle's ``perm`` indexes.
+    intra = np.ones(view.caps.size, dtype=bool)
+    intra[floor_idx] = False
+    idx = np.nonzero(intra)[0]
+    drate = (view.rates[idx] - view.rates[idx - 1])[perm]
+    dpower = (view.powers[idx] - view.powers[idx - 1])[perm]
+    caps = base_cap + np.concatenate(([0.0], cum))
+    rates = base_rate + np.concatenate(([0.0], np.cumsum(drate)))
+    powers = base_power + np.concatenate(([0.0], np.cumsum(dpower)))
+    return caps, rates, powers
+
+
+def _pool_of_aggregates(
+    names: list[str],
+    aggregates: Mapping[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> FrontierPool:
+    """Pack per-group aggregate frontiers into a pool of their own."""
+    caps = [aggregates[n][0] for n in names]
+    rates = [aggregates[n][1] for n in names]
+    powers = [aggregates[n][2] for n in names]
+    offsets = np.concatenate(
+        ([0], np.cumsum([c.size for c in caps]))
+    ).astype(np.int64)
+    return FrontierPool(
+        names,
+        np.concatenate(caps),
+        np.concatenate(rates),
+        np.concatenate(powers),
+        offsets,
+    )
+
+
+class BudgetTree:
+    """Top-down budget splitter over a fleet's physical hierarchy.
+
+    Parameters
+    ----------
+    pool:
+        The fleet's frontier pool (shared, not copied — membership
+        changes on the pool are picked up on the next allocation).
+    rack_of:
+        Node name → rack name for every node in the pool.
+    row_of:
+        Rack name → row name for every rack named in ``rack_of``.
+    """
+
+    def __init__(
+        self,
+        pool: FrontierPool,
+        rack_of: Mapping[str, str],
+        row_of: Mapping[str, str],
+    ) -> None:
+        missing = [n for n in pool.active_names() if n not in rack_of]
+        if missing:
+            raise ValueError(f"nodes without a rack: {missing[:5]}")
+        missing_rows = sorted(
+            {r for r in rack_of.values() if r not in row_of}
+        )
+        if missing_rows:
+            raise ValueError(f"racks without a row: {missing_rows[:5]}")
+        self.pool = pool
+        self._rack_of = dict(rack_of)
+        self._row_of = dict(row_of)
+        self._shifts: dict[str, float] = {}
+        # Per-rack caches keyed by the rack's active-member tuple.
+        self._rack_members: dict[str, tuple[str, ...]] = {}
+        self._rack_subpool: dict[str, FrontierPool] = {}
+        self._rack_aggregate: dict[str, tuple[np.ndarray, ...]] = {}
+        self._rack_names: list[str] = []
+        self._row_names: list[str] = []
+        self._row_racks: dict[str, list[str]] = {}
+        self._row_pool: FrontierPool | None = None
+        self._row_rack_pools: dict[str, FrontierPool] = {}
+        self._built_version = -1
+        self.last_rack_budgets: dict[str, float] = {}
+
+    @classmethod
+    def regular(
+        cls,
+        pool: FrontierPool,
+        *,
+        rack_size: int = 32,
+        racks_per_row: int = 8,
+    ) -> "BudgetTree":
+        """A uniform topology over the pool's nodes in insertion order:
+        ``rack_size`` nodes per rack, ``racks_per_row`` racks per row."""
+        if rack_size < 1 or racks_per_row < 1:
+            raise ValueError("rack_size and racks_per_row must be >= 1")
+        rack_of: dict[str, str] = {}
+        row_of: dict[str, str] = {}
+        for i, name in enumerate(pool.active_names()):
+            rack = i // rack_size
+            rack_name = f"rack{rack:06d}"
+            rack_of[name] = rack_name
+            row_of[rack_name] = f"row{rack // racks_per_row:04d}"
+        return cls(pool, rack_of, row_of)
+
+    # -- topology maintenance -----------------------------------------------
+
+    def extend(
+        self,
+        rack_of: Mapping[str, str] | None = None,
+        row_of: Mapping[str, str] | None = None,
+    ) -> None:
+        """Register newly joined nodes' rack assignments (and any new
+        racks' rows) so the next allocation can place them."""
+        if rack_of:
+            self._rack_of.update(rack_of)
+        if row_of:
+            self._row_of.update(row_of)
+        unrowed = sorted(
+            {r for r in self._rack_of.values() if r not in self._row_of}
+        )
+        if unrowed:
+            raise ValueError(f"racks without a row: {unrowed[:5]}")
+
+    def shift_budget(self, from_rack: str, to_rack: str, watts: float) -> None:
+        """Persistently move ``watts`` of every future split from one
+        rack to another (zero-sum: the datacenter total is unchanged)."""
+        if watts < 0:
+            raise ValueError("watts must be non-negative")
+        known = set(self._row_of)
+        for rack in (from_rack, to_rack):
+            if rack not in known:
+                raise ValueError(f"unknown rack {rack!r}")
+        self._shifts[from_rack] = self._shifts.get(from_rack, 0.0) - watts
+        self._shifts[to_rack] = self._shifts.get(to_rack, 0.0) + watts
+
+    def clear_shifts(self) -> None:
+        """Drop all inter-rack budget shifts."""
+        self._shifts.clear()
+
+    # -- structure ----------------------------------------------------------
+
+    def _ensure_structure(self) -> None:
+        """Rebuild the aggregate menus of racks whose active membership
+        changed since the last allocation (and only those)."""
+        if self._built_version == self.pool.version:
+            return
+        members: dict[str, list[str]] = {}
+        rack_order: list[str] = []
+        for name in self.pool.active_names():
+            rack = self._rack_of.get(name)
+            if rack is None:
+                raise ValueError(f"node {name!r} has no rack assignment")
+            if rack not in members:
+                members[rack] = []
+                rack_order.append(rack)
+            members[rack].append(name)
+        if not members:
+            raise ValueError("no active nodes in the tree")
+        rebuilt = 0
+        for rack in rack_order:
+            tup = tuple(members[rack])
+            if self._rack_members.get(rack) == tup:
+                continue
+            subpool = self.pool.subpool(tup)
+            self._rack_members[rack] = tup
+            self._rack_subpool[rack] = subpool
+            self._rack_aggregate[rack] = _aggregate_frontier(subpool)
+            rebuilt += 1
+        _TREE_RACK_REBUILDS.inc(rebuilt)
+        # Drop racks that lost all members.
+        for rack in list(self._rack_members):
+            if rack not in members:
+                del self._rack_members[rack]
+                del self._rack_subpool[rack]
+                del self._rack_aggregate[rack]
+        self._rack_names = rack_order
+        row_racks: dict[str, list[str]] = {}
+        row_order: list[str] = []
+        for rack in rack_order:
+            row = self._row_of[rack]
+            if row not in row_racks:
+                row_racks[row] = []
+                row_order.append(row)
+            row_racks[row].append(rack)
+        self._row_racks = row_racks
+        self._row_names = row_order
+        # One pool of rack aggregates per row (the row's split menu) and
+        # one pool of row aggregates (the datacenter's split menu).
+        self._row_rack_pools = {
+            row: _pool_of_aggregates(racks, self._rack_aggregate)
+            for row, racks in row_racks.items()
+        }
+        row_aggregates = {
+            row: _aggregate_frontier(rack_pool)
+            for row, rack_pool in self._row_rack_pools.items()
+        }
+        self._row_pool = _pool_of_aggregates(row_order, row_aggregates)
+        self._built_version = self.pool.version
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, budget_w: float, policy: str = "greedy") -> np.ndarray:
+        """Split a datacenter budget down the hierarchy.
+
+        Returns per-node caps aligned with ``pool.active_names()``.
+        Every level runs the same vectorized kernel as the flat
+        :func:`~repro.cluster.allocation.allocate_pool`; a level's
+        slack (budget its children's frontiers cannot absorb) simply
+        stays unspent, as in the flat allocator.
+        """
+        if budget_w <= 0:
+            raise ValueError("budget_w must be positive")
+        _TREE_CALLS.inc()
+        with trace_span("cluster/tree_allocate"):
+            self._ensure_structure()
+            assert self._row_pool is not None
+            row_budgets = allocate_pool(self._row_pool, budget_w, policy)
+            rack_budget: dict[str, float] = {}
+            for row, row_b in zip(self._row_names, row_budgets.tolist()):
+                rack_pool = self._row_rack_pools[row]
+                shares = allocate_pool(rack_pool, row_b, policy)
+                for rack, share in zip(self._row_racks[row], shares.tolist()):
+                    rack_budget[rack] = share
+            for rack, delta in self._shifts.items():
+                if rack in rack_budget:
+                    rack_budget[rack] += delta
+            self.last_rack_budgets = dict(rack_budget)
+            active_index = {
+                name: i for i, name in enumerate(self.pool.active_names())
+            }
+            out = np.empty(len(active_index))
+            for rack in self._rack_names:
+                b = rack_budget[rack]
+                if b <= 0:
+                    raise ValueError(
+                        f"rack {rack!r} budget driven non-positive "
+                        f"({b:.3f} W) — reduce its outgoing shift"
+                    )
+                caps = allocate_pool(self._rack_subpool[rack], b, policy)
+                for name, cap in zip(self._rack_members[rack], caps.tolist()):
+                    out[active_index[name]] = cap
+            return out

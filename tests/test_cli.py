@@ -193,3 +193,40 @@ class TestReportCommand:
         }
         table3 = (out_dir / "table3.txt").read_text()
         assert "% Under" in table3
+
+
+class TestClusterCommand:
+    def test_parses_cluster_args(self):
+        p = build_parser()
+        args = p.parse_args(
+            ["cluster", "--policy", "maxmin", "--n-nodes", "64",
+             "--epochs", "2", "--churn", "4", "--tree"]
+        )
+        assert args.command == "cluster"
+        assert args.policy == "maxmin"
+        assert args.n_nodes == 64 and args.epochs == 2 and args.churn == 4
+        assert args.tree is True
+
+    def test_prints_epoch_table(self, capsys):
+        assert main(["-q", "cluster", "--n-nodes", "32", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "32 synthesized nodes" in out
+        assert "epoch" in out and "alloc_ms" in out
+        assert len(out.strip().splitlines()) == 4  # header + title + 2 epochs
+
+    def test_tree_churn_and_telemetry_out(self, tmp_path, capsys):
+        out_path = tmp_path / "cluster-telemetry.json"
+        rc = main(
+            ["-q", "cluster", "--n-nodes", "64", "--epochs", "2",
+             "--churn", "4", "--tree", "--telemetry-out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hierarchical split" in out
+        assert "4 nodes departed" in out
+        data = json.loads(out_path.read_text())
+        counters = data["metrics"]["counters"]
+        assert counters.get("cluster.alloc.tree.calls", 0) >= 2
+        assert counters.get("cluster.alloc.steps_taken", 0) > 0
+        spans = {n["name"] for n in data["spans"]}
+        assert "cluster/tree_allocate" in spans

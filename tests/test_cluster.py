@@ -77,6 +77,44 @@ class TestNodeFrontier:
         with pytest.raises(ValueError):
             NodeFrontier([])
 
+    def test_at_cap_matches_linear_scan(self):
+        # Regression for the binary-search rewrite: pin equality to the
+        # original O(n) feasibility scan, below-floor fallback included.
+        from repro.constants import respects_cap
+
+        def linear_scan(frontier, cap_w):
+            best = None
+            for p in frontier.points:
+                if respects_cap(p.cap_w, cap_w):
+                    best = p
+            return best if best is not None else frontier.points[0]
+
+        import numpy as np
+
+        rng = np.random.default_rng(123)
+        for _ in range(50):
+            n_points = int(rng.integers(1, 8))
+            caps = np.cumsum(rng.uniform(0.0, 6.0, n_points)) + rng.uniform(
+                1.0, 10.0
+            )
+            rates = np.cumsum(rng.uniform(0.01, 1.0, n_points))
+            f = NodeFrontier(
+                [
+                    NodeFrontierPoint(float(c), float(c) * 0.95, float(r))
+                    for c, r in zip(caps, rates)
+                ]
+            )
+            queries = [
+                0.0,  # below floor
+                float(caps[0]) - 1e-12,
+                float(caps[0]),
+                float(caps[-1]),
+                float(caps[-1]) + 5.0,
+                float(rng.uniform(0.0, caps[-1] + 2.0)),
+            ]
+            for q in queries:
+                assert f.at_cap(q) is linear_scan(f, q), q
+
 
 class TestAllocation:
     def _two_frontiers(self):
@@ -235,3 +273,87 @@ class TestClusterPowerManager:
             mgr.run([50.0], n_epochs=2, timesteps_per_epoch=2)
         with pytest.raises(ValueError):
             mgr.run([50.0], n_epochs=0, timesteps_per_epoch=2)
+
+
+class TestClusterFaults:
+    def test_dead_node_dropped_and_budget_redistributed(self, nodes):
+        from repro.cluster import ClusterFaultEvent, ClusterFaultPlan
+
+        plan = ClusterFaultPlan(
+            events=(
+                ClusterFaultEvent(kind="node_dead", node="n1", start=0),
+                ClusterFaultEvent(kind="node_dead", node="ghost", start=0),
+            ),
+            name="one-death",
+        )
+        mgr = ClusterPowerManager(nodes, policy="greedy", fault_plan=plan)
+        healthy = ClusterPowerManager(nodes, policy="greedy")
+        report = mgr.run([70.0, 70.0], n_epochs=2, timesteps_per_epoch=2)
+        # Epoch 0: n1 is dead — no cap, no trace; survivors share 70 W.
+        assert set(report.epochs[0].caps_w) == {"n0", "n2"}
+        assert set(report.epochs[0].traces) == {"n0", "n2"}
+        assert sum(report.epochs[0].caps_w.values()) <= 70.0 + 1e-9
+        survivor_caps = {
+            n: c
+            for n, c in healthy.allocate(70.0).items()
+            if n in ("n0", "n2")
+        }
+        assert (
+            report.epochs[0].caps_w["n0"] + report.epochs[0].caps_w["n2"]
+            >= survivor_caps["n0"] + survivor_caps["n2"]
+        )
+        # Epoch 1: the event expired; the node is back.
+        assert set(report.epochs[1].traces) == {"n0", "n1", "n2"}
+
+    def test_stale_frontier_pins_node_to_floor(self, nodes):
+        from repro.cluster import ClusterFaultEvent, ClusterFaultPlan
+
+        plan = ClusterFaultPlan(
+            events=(
+                ClusterFaultEvent(kind="stale_frontier", node="n0", start=0),
+            ),
+        )
+        mgr = ClusterPowerManager(nodes, policy="greedy", fault_plan=plan)
+        report = mgr.run([75.0], n_epochs=1, timesteps_per_epoch=2)
+        floor = mgr.frontiers()["n0"].min_cap_w
+        assert report.epochs[0].caps_w["n0"] == pytest.approx(floor)
+        assert set(report.epochs[0].traces) == {"n0", "n1", "n2"}
+
+    def test_all_nodes_dead_epoch_degrades_gracefully(self, nodes):
+        from repro.cluster import ClusterFaultEvent, ClusterFaultPlan
+
+        plan = ClusterFaultPlan(
+            events=tuple(
+                ClusterFaultEvent(kind="node_leave", node=n, start=0)
+                for n in ("n0", "n1", "n2")
+            ),
+        )
+        mgr = ClusterPowerManager(nodes, policy="greedy", fault_plan=plan)
+        report = mgr.run([60.0], n_epochs=1, timesteps_per_epoch=2)
+        assert report.epochs[0].traces == {}
+        assert report.epochs[0].makespan_s == 0.0
+        assert report.total_time_s == 0.0
+        assert report.epochs[0].within_budget
+
+    def test_fault_counters_increment(self, nodes):
+        from repro.cluster import ClusterFaultEvent, ClusterFaultPlan
+        from repro.telemetry import counter
+
+        plan = ClusterFaultPlan(
+            events=(
+                ClusterFaultEvent(kind="node_dead", node="n1", start=0),
+                ClusterFaultEvent(kind="stale_frontier", node="n2", start=0),
+                ClusterFaultEvent(kind="node_leave", node="missing", start=0),
+            ),
+        )
+        dead = counter("faults.cluster.node_dead")
+        stale = counter("faults.cluster.stale_frontier")
+        unknown = counter("faults.cluster.unknown_node")
+        degraded = counter("faults.cluster.epochs_degraded")
+        before = (dead.value, stale.value, unknown.value, degraded.value)
+        mgr = ClusterPowerManager(nodes, fault_plan=plan)
+        mgr.run([70.0], n_epochs=1, timesteps_per_epoch=2)
+        assert dead.value == before[0] + 1
+        assert stale.value == before[1] + 1
+        assert unknown.value == before[2] + 1
+        assert degraded.value == before[3] + 1

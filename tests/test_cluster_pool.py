@@ -1,0 +1,379 @@
+"""Tests for the fleet-scale allocation engine (pool, kernels, tree,
+cluster faults)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    BudgetTree,
+    ClusterFaultEvent,
+    ClusterFaultPlan,
+    FrontierPool,
+    NodeFrontier,
+    NodeFrontierPoint,
+    allocate_pool,
+    greedy_marginal_allocation,
+    greedy_marginal_allocation_reference,
+    maxmin_allocation,
+    maxmin_allocation_reference,
+    pool_allocation_summary,
+)
+
+
+def _frontier(points):
+    return NodeFrontier([NodeFrontierPoint(*p) for p in points])
+
+
+def _two_frontiers():
+    fa = _frontier([(10.0, 10.0, 1.0), (15.0, 15.0, 3.0), (20.0, 20.0, 4.0)])
+    fb = _frontier([(10.0, 10.0, 1.0), (20.0, 20.0, 1.5)])
+    return {"a": fa, "b": fb}
+
+
+# -- random frontier generators (shared by the property tests) ----------------
+
+
+@st.composite
+def frontier_dicts(draw):
+    """A dict of 1-6 random node frontiers with 1-6 points each,
+    including occasional zero-cost (equal-cap) steps."""
+    n_nodes = draw(st.integers(1, 6))
+    out = {}
+    for i in range(n_nodes):
+        n_points = draw(st.integers(1, 6))
+        cap = draw(st.floats(1.0, 30.0))
+        points = []
+        rate = draw(st.floats(0.1, 2.0))
+        for _ in range(n_points):
+            points.append(NodeFrontierPoint(cap, cap * 0.95, rate))
+            zero_cost = draw(st.booleans())
+            cap = cap + (0.0 if zero_cost else draw(st.floats(0.1, 8.0)))
+            rate = rate + draw(st.floats(0.05, 2.0))
+        out[f"n{i:02d}"] = NodeFrontier(points)
+    return out
+
+
+class TestFrontierPool:
+    def test_round_trip(self):
+        fr = _two_frontiers()
+        pool = FrontierPool.from_frontiers(fr)
+        back = pool.to_frontiers()
+        assert list(back) == ["a", "b"]
+        for name in fr:
+            assert [
+                (p.cap_w, p.expected_power_w, p.rate) for p in fr[name]
+            ] == [(p.cap_w, p.expected_power_w, p.rate) for p in back[name]]
+
+    def test_counts(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        assert pool.n_nodes == 2
+        assert pool.n_active == 2
+        assert pool.n_points == 5
+        assert len(pool) == 2
+        assert "a" in pool and "missing" not in pool
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            FrontierPool(
+                ["a", "a"],
+                np.array([1.0, 2.0]),
+                np.array([1.0, 2.0]),
+                np.array([1.0, 2.0]),
+                np.array([0, 1, 2]),
+            )
+        with pytest.raises(ValueError, match="offsets"):
+            FrontierPool(
+                ["a"],
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([0, 2]),
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            FrontierPool(
+                ["a", "b"],
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([0, 0, 1]),
+            )
+        with pytest.raises(ValueError, match="finite"):
+            FrontierPool(
+                ["a"],
+                np.array([np.inf]),
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([0, 1]),
+            )
+
+    def test_synthesize_deterministic(self):
+        p1 = FrontierPool.synthesize(50, seed=9)
+        p2 = FrontierPool.synthesize(50, seed=9)
+        assert p1.active_names() == p2.active_names()
+        f1 = p1.floors()
+        f2 = p2.floors()
+        assert np.array_equal(f1, f2)
+        # Names sort lexicographically in numeric order.
+        names = p1.active_names()
+        assert names == sorted(names)
+
+    def test_at_caps_matches_scalar_at_cap(self):
+        pool = FrontierPool.synthesize(200, seed=4)
+        fr = pool.to_frontiers()
+        rng = np.random.default_rng(0)
+        queries = rng.uniform(0.0, 50.0, 200)
+        queries[0] = np.nan  # scalar scan treats NaN as nothing-feasible
+        point_caps, powers, rates = pool.at_caps(queries)
+        for i, (name, q) in enumerate(zip(pool.active_names(), queries)):
+            p = fr[name].at_cap(float(q))
+            assert point_caps[i] == p.cap_w
+            assert powers[i] == p.expected_power_w
+            assert rates[i] == p.rate
+
+    def test_membership_cycle(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        v0 = pool.version
+        assert pool.deactivate(["b"]) == 1
+        assert pool.version == v0 + 1
+        assert pool.active_names() == ["a"]
+        assert pool.deactivate(["b"]) == 0  # idempotent, no version bump
+        assert pool.version == v0 + 1
+        assert pool.activate(["b"]) == 1
+        assert pool.active_names() == ["a", "b"]
+        with pytest.raises(ValueError, match="unknown"):
+            pool.deactivate(["nope"])
+
+    def test_add_frontiers(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        pool.add_frontiers({"c": _frontier([(5.0, 4.8, 0.5)])})
+        assert pool.n_nodes == 3
+        assert pool.active_names() == ["a", "b", "c"]
+        with pytest.raises(ValueError, match="already pooled"):
+            pool.add_frontiers({"a": _frontier([(5.0, 4.8, 0.5)])})
+
+    def test_view_cached_per_version(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        assert pool.view() is pool.view()
+        v = pool.view()
+        pool.deactivate(["b"])
+        assert pool.view() is not v
+
+    def test_subpool(self):
+        pool = FrontierPool.synthesize(10, seed=1)
+        names = pool.active_names()[3:6]
+        sub = pool.subpool(names)
+        assert sub.active_names() == names
+        full = pool.to_frontiers()
+        for name, f in sub.to_frontiers().items():
+            assert [p.cap_w for p in f] == [p.cap_w for p in full[name]]
+
+
+class TestAllocatePool:
+    def test_matches_dict_frontend(self):
+        fr = _two_frontiers()
+        pool = FrontierPool.from_frontiers(fr)
+        for policy, dict_fn in (
+            ("greedy", greedy_marginal_allocation),
+            ("maxmin", maxmin_allocation),
+        ):
+            caps = allocate_pool(pool, 33.0, policy)
+            expect = dict_fn(33.0, fr)
+            assert dict(zip(pool.active_names(), caps.tolist())) == expect
+
+    def test_uniform(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        caps = allocate_pool(pool, 40.0, "uniform")
+        assert caps.tolist() == [20.0, 20.0]
+
+    def test_validation(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        with pytest.raises(ValueError):
+            allocate_pool(pool, 0.0)
+        with pytest.raises(ValueError):
+            allocate_pool(pool, 10.0, "fair")
+
+    def test_respects_membership(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        pool.deactivate(["a"])
+        caps = allocate_pool(pool, 30.0, "greedy")
+        assert caps.size == 1
+        assert caps[0] == pytest.approx(20.0)  # b's own frontier maximum
+
+    def test_floor_scaling_when_infeasible(self):
+        pool = FrontierPool.from_frontiers(_two_frontiers())
+        caps = allocate_pool(pool, 10.0, "greedy")  # floors need 20 W
+        assert float(np.sum(caps)) == pytest.approx(10.0)
+        assert caps[0] == pytest.approx(5.0)
+
+    def test_zero_cost_steps_taken_immediately(self):
+        # A zero-cost step (equal caps, better rate) must be granted
+        # even when the leftover budget is zero.
+        fr = {
+            "a": _frontier([(10.0, 10.0, 1.0), (10.0, 10.0, 2.0)]),
+            "b": _frontier([(10.0, 10.0, 1.0)]),
+        }
+        for budget in (20.0, 20.5):
+            caps = greedy_marginal_allocation(budget, fr)
+            assert caps == greedy_marginal_allocation_reference(budget, fr)
+            summary = pool_allocation_summary(
+                FrontierPool.from_frontiers(fr),
+                np.array(list(caps.values())),
+                budget,
+            )
+            assert summary["predicted_rate"] == pytest.approx(3.0)
+
+    def test_single_node(self):
+        fr = {"only": _frontier([(10.0, 9.5, 1.0), (14.0, 13.2, 2.0)])}
+        for budget, expected in ((5.0, 5.0), (12.0, 10.0), (40.0, 14.0)):
+            for fn in (greedy_marginal_allocation, maxmin_allocation):
+                assert fn(budget, fr)["only"] == pytest.approx(expected)
+
+    def test_pool_allocation_summary_matches_dict(self):
+        fr = _two_frontiers()
+        pool = FrontierPool.from_frontiers(fr)
+        caps = allocate_pool(pool, 33.0, "greedy")
+        from repro.cluster import allocation_summary
+
+        s_pool = pool_allocation_summary(pool, caps, 33.0)
+        s_dict = allocation_summary(
+            dict(zip(pool.active_names(), caps.tolist())), fr, 33.0
+        )
+        for key in s_dict:
+            assert s_pool[key] == pytest.approx(s_dict[key])
+
+    @settings(max_examples=60, deadline=None)
+    @given(frontier_dicts(), st.floats(0.5, 3.0), st.floats(0.0, 40.0))
+    def test_property_vectorized_equals_reference(
+        self, fr, floor_factor, extra
+    ):
+        floors = sum(f.min_cap_w for f in fr.values())
+        budget = floors * floor_factor + extra
+        greedy = greedy_marginal_allocation(budget, fr)
+        assert greedy == greedy_marginal_allocation_reference(budget, fr)
+        maxmin = maxmin_allocation(budget, fr)
+        assert maxmin == maxmin_allocation_reference(budget, fr)
+        # Neither policy ever exceeds the budget.
+        assert sum(greedy.values()) <= budget + 1e-9
+        assert sum(maxmin.values()) <= budget + 1e-9
+
+
+class TestBudgetTree:
+    def _tree(self, n=64, rack_size=8, racks_per_row=2, seed=2):
+        pool = FrontierPool.synthesize(n, seed=seed)
+        return pool, BudgetTree.regular(
+            pool, rack_size=rack_size, racks_per_row=racks_per_row
+        )
+
+    def test_budget_respected_and_near_flat(self):
+        pool, tree = self._tree()
+        budget = float(np.sum(pool.floors())) * 1.4
+        for policy in ("uniform", "greedy", "maxmin"):
+            caps = tree.allocate(budget, policy)
+            assert caps.shape == (pool.n_active,)
+            assert float(np.sum(caps)) <= budget + 1e-6
+        tree_rate = pool_allocation_summary(
+            pool, tree.allocate(budget, "greedy"), budget
+        )["predicted_rate"]
+        flat_rate = pool_allocation_summary(
+            pool, allocate_pool(pool, budget, "greedy"), budget
+        )["predicted_rate"]
+        assert tree_rate >= 0.95 * flat_rate
+
+    def test_incremental_rebuild_on_membership_change(self):
+        from repro.telemetry import counter
+
+        pool, tree = self._tree()
+        budget = float(np.sum(pool.floors())) * 1.3
+        tree.allocate(budget)
+        rebuilds = counter("cluster.alloc.tree.rack_rebuilds")
+        before = rebuilds.value
+        victim = pool.active_names()[0]
+        pool.deactivate([victim])
+        caps = tree.allocate(budget)
+        assert caps.shape == (pool.n_active,)
+        assert rebuilds.value - before == 1  # only the victim's rack
+
+    def test_budget_shifts(self):
+        pool, tree = self._tree()
+        budget = float(np.sum(pool.floors())) * 1.3
+        tree.allocate(budget)
+        racks = sorted(tree.last_rack_budgets)
+        baseline = dict(tree.last_rack_budgets)
+        tree.shift_budget(racks[0], racks[1], 3.0)
+        caps = tree.allocate(budget)
+        assert float(np.sum(caps)) <= budget + 1e-6
+        assert tree.last_rack_budgets[racks[0]] == pytest.approx(
+            baseline[racks[0]] - 3.0
+        )
+        assert tree.last_rack_budgets[racks[1]] == pytest.approx(
+            baseline[racks[1]] + 3.0
+        )
+        tree.clear_shifts()
+        tree.allocate(budget)
+        assert tree.last_rack_budgets[racks[0]] == pytest.approx(
+            baseline[racks[0]]
+        )
+
+    def test_validation(self):
+        pool = FrontierPool.synthesize(4, seed=0)
+        names = pool.active_names()
+        with pytest.raises(ValueError, match="without a rack"):
+            BudgetTree(pool, {}, {})
+        with pytest.raises(ValueError, match="without a row"):
+            BudgetTree(pool, {n: "r0" for n in names}, {})
+        tree = BudgetTree.regular(pool, rack_size=2, racks_per_row=1)
+        with pytest.raises(ValueError, match="unknown rack"):
+            tree.shift_budget("rack000000", "nope", 1.0)
+        with pytest.raises(ValueError):
+            tree.allocate(0.0)
+
+    def test_extend_for_joining_nodes(self):
+        pool, tree = self._tree(n=8, rack_size=4, racks_per_row=1)
+        pool.add_frontiers({"late": _frontier([(9.0, 8.7, 0.7)])})
+        with pytest.raises(ValueError, match="no rack"):
+            tree.allocate(100.0)
+        tree.extend(
+            rack_of={"late": "rack-late"}, row_of={"rack-late": "row0000"}
+        )
+        budget = float(np.sum(pool.floors())) * 1.3
+        caps = tree.allocate(budget)
+        assert caps.shape == (pool.n_active,)
+
+
+class TestClusterFaultPlan:
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="unknown cluster fault"):
+            ClusterFaultEvent(kind="meteor", node="n0", start=0)
+        with pytest.raises(ValueError, match="node"):
+            ClusterFaultEvent(kind="node_dead", node="", start=0)
+        with pytest.raises(ValueError, match="start"):
+            ClusterFaultEvent(kind="node_dead", node="n0", start=-1)
+        with pytest.raises(ValueError, match="duration"):
+            ClusterFaultEvent(kind="node_dead", node="n0", start=0, duration=0)
+
+    def test_windows(self):
+        ev = ClusterFaultEvent(
+            kind="node_dead", node="n0", start=2, duration=3
+        )
+        assert not ev.active_at(1)
+        assert ev.active_at(2) and ev.active_at(4)
+        assert not ev.active_at(5)
+        plan = ClusterFaultPlan(events=(ev,), name="t")
+        assert plan.horizon == 5
+        assert plan.active_events(3) == (ev,)
+        assert not plan.empty and len(plan) == 1
+
+    def test_json_round_trip(self, tmp_path):
+        plan = ClusterFaultPlan.random(7, ["n0", "n1", "n2"], n_events=5)
+        path = plan.to_file(tmp_path / "plan.json")
+        loaded = ClusterFaultPlan.from_file(path)
+        assert loaded == plan
+        with pytest.raises(ValueError, match="version"):
+            ClusterFaultPlan.from_dict({"version": 99})
+
+    def test_random_deterministic(self):
+        a = ClusterFaultPlan.random(3, ["x", "y"])
+        b = ClusterFaultPlan.random(3, ["x", "y"])
+        assert a == b

@@ -31,8 +31,11 @@ MODULES = [
     "repro.cli",
     "repro.constants",
     "repro.cluster.allocation",
+    "repro.cluster.faults",
     "repro.cluster.manager",
     "repro.cluster.node",
+    "repro.cluster.pool",
+    "repro.cluster.tree",
     "repro.core.characterization",
     "repro.core.classifier",
     "repro.core.clustering",
@@ -124,7 +127,7 @@ class TestDocIntegrity:
     @pytest.mark.parametrize(
         "doc",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PAPER_MAPPING.md",
-         "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
+         "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md", "docs/CLUSTER.md",
          "examples/README.md"],
     )
     def test_referenced_files_exist(self, doc):
