@@ -8,6 +8,8 @@ Gives the paper's workflow a shell-level surface::
     repro predict -m model.json LU/Small/LUDecomposition --cap 20
     repro evaluate --seed 0              # Table III end to end
     repro eval --telemetry-out t.json    # ... plus the telemetry report
+    repro serve --rate 20000             # the concurrent decision server
+    repro bench-serve                    # offered-load admission benchmark
     repro telemetry t.json               # pretty-print a saved report
 
 Every command is deterministic given ``--seed``.
@@ -241,6 +243,74 @@ def build_parser() -> argparse.ArgumentParser:
         "BudgetTree instead of one flat allocation",
     )
     p_cluster.add_argument("--telemetry-out", default=None, help=telemetry_help)
+
+    batching_help = (
+        "requests coalesced into one grouped sweep (default: "
+        "$REPRO_SERVER_MAX_BATCH or 1024)"
+    )
+    delay_help = (
+        "batching window in microseconds (default: "
+        "$REPRO_SERVER_MAX_DELAY_US or 200)"
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the concurrent decision server over a Poisson "
+        "request stream",
+    )
+    p_serve.add_argument(
+        "--requests",
+        type=int,
+        default=20000,
+        help="requests to stream through the server (default 20000)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=20000.0,
+        help="offered load in requests/s (default 20000)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=None, help=batching_help)
+    p_serve.add_argument(
+        "--max-delay-us", type=float, default=None, help=delay_help
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject faults into the serving machine's sample runs from "
+        "this scenario JSON (training stays clean)",
+    )
+    p_serve.add_argument("--telemetry-out", default=None, help=telemetry_help)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="admission benchmark: offered load vs sustained "
+        "throughput and latency",
+    )
+    p_bserve.add_argument(
+        "--rates",
+        default="2000,20000,60000",
+        help="comma-separated offered loads in requests/s "
+        "(default 2000,20000,60000)",
+    )
+    p_bserve.add_argument(
+        "--duration",
+        type=float,
+        default=0.5,
+        help="seconds per offered load (default 0.5)",
+    )
+    p_bserve.add_argument(
+        "--max-batch", type=int, default=None, help=batching_help
+    )
+    p_bserve.add_argument(
+        "--max-delay-us", type=float, default=None, help=delay_help
+    )
+    p_bserve.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the benchmark results as JSON to this path",
+    )
 
     p_tel = sub.add_parser(
         "telemetry", help="pretty-print a saved telemetry report"
@@ -509,6 +579,117 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import (
+        DecisionServer,
+        ServerConfig,
+        build_default_service,
+        request_pool,
+        run_open_loop,
+    )
+    from repro.telemetry import counter
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.rate <= 0:
+        print("error: --rate must be positive", file=sys.stderr)
+        return 2
+    log_event(
+        _log,
+        logging.INFO,
+        "serve-start",
+        requests=args.requests,
+        rate=args.rate,
+        fault_plan=args.fault_plan,
+    )
+    service = build_default_service(seed=args.seed, fault_plan=args.fault_plan)
+    warm_errors = service.warm()
+    config = ServerConfig.resolve(
+        max_batch=args.max_batch, max_delay_us=args.max_delay_us
+    )
+    pool = request_pool(service.kernel_uids, seed=args.seed)
+    requests_before = counter("server.requests").value
+    batches_before = counter("server.batches").value
+    with DecisionServer(service, config) as server:
+        report = run_open_loop(
+            server,
+            pool,
+            args.rate,
+            args.requests / args.rate,
+            seed=args.seed,
+        )
+    requests_n = counter("server.requests").value - requests_before
+    batches_n = counter("server.batches").value - batches_before
+    print(
+        f"served {report.completed:,} decisions at "
+        f"{report.sustained_rps:,.0f}/s sustained "
+        f"(offered {report.offered_rps:,.0f}/s)"
+    )
+    print(
+        f"latency p50 {report.p50_us:,.0f} us, p99 {report.p99_us:,.0f} us, "
+        f"p999 {report.p999_us:,.0f} us"
+    )
+    print(
+        f"batching: {requests_n:,} requests in {batches_n:,} batches "
+        f"(mean {requests_n / max(batches_n, 1):,.1f}/batch, "
+        f"max_batch {config.max_batch}, window {config.max_delay_us:.0f} us)"
+    )
+    print(f"shed {report.shed:,}, per-request errors {report.errors:,}"
+          + (f", unservable kernels {len(warm_errors)}" if warm_errors else ""))
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server import (
+        ServerConfig,
+        admission_benchmark,
+        build_default_service,
+        render_reports,
+        request_pool,
+    )
+
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"error: bad --rates {args.rates!r}", file=sys.stderr)
+        return 2
+    if not rates or any(r <= 0 for r in rates):
+        print("error: --rates must be positive numbers", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    log_event(_log, logging.INFO, "bench-serve-start", rates=rates)
+    service = build_default_service(seed=args.seed)
+    service.warm()
+    config = ServerConfig.resolve(
+        max_batch=args.max_batch, max_delay_us=args.max_delay_us
+    )
+    pool = request_pool(service.kernel_uids, seed=args.seed)
+    reports = admission_benchmark(
+        service, pool, rates, args.duration, config=config, seed=args.seed
+    )
+    print(render_reports(reports))
+    if args.output is not None:
+        payload = {
+            "config": {
+                "max_batch": config.max_batch,
+                "max_delay_us": config.max_delay_us,
+            },
+            "loads": [vars(r) for r in reports],
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     try:
         data = load_telemetry(args.path)
@@ -530,6 +711,8 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "report": _cmd_report,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
     "telemetry": _cmd_telemetry,
 }
 

@@ -51,12 +51,19 @@ from repro.core.regression import (
     fit_cluster_models,
 )
 from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE, SAMPLE_CONFIGS
-from repro.core.scheduler import Scheduler, SchedulerDecision, SchedulingGoal
+from repro.core.scheduler import (
+    CapSweepTable,
+    NoFeasibleConfigError,
+    Scheduler,
+    SchedulerDecision,
+    SchedulingGoal,
+)
 
 __all__ = [
     "AdaptiveModel",
     "CPU_FEATURE_NAMES",
     "CPU_SAMPLE",
+    "CapSweepTable",
     "ClusterClassifier",
     "ClusterModels",
     "ClusteringResult",
@@ -69,6 +76,7 @@ __all__ = [
     "GPU_SAMPLE",
     "KernelCharacterization",
     "KernelPrediction",
+    "NoFeasibleConfigError",
     "OnlinePredictor",
     "ParetoFrontier",
     "RegressionGramPool",

@@ -20,6 +20,18 @@ scores are prefix-scanned once in ascending-power order, then every cap
 resolves with one :func:`numpy.searchsorted` lookup.  Ties break
 exactly as the historical scalar loop did: the earliest configuration
 in prediction order wins.
+
+The prefix scan itself is reified as a :class:`CapSweepTable` so
+long-lived consumers (the decision server in :mod:`repro.server`) can
+build it once per prediction and answer every later cap with a single
+binary search; :meth:`Scheduler.sweep_table` is the factory and
+:meth:`Scheduler.select_many` is now a thin wrapper over it.
+
+When selection has no runnable candidate at all — an empty frontier, or
+every configuration quarantined under ``strict_quarantine=True`` — the
+scheduler raises the typed :class:`NoFeasibleConfigError` instead of an
+accidental ``IndexError``, so callers (the server maps it to a
+per-request error response) can tell "nothing to run" apart from a bug.
 """
 
 from __future__ import annotations
@@ -34,7 +46,13 @@ from repro.core.predictor import KernelPrediction
 from repro.hardware.config import Configuration
 from repro.telemetry import counter, get_logger, log_event, trace_span
 
-__all__ = ["SchedulingGoal", "SchedulerDecision", "Scheduler"]
+__all__ = [
+    "CapSweepTable",
+    "NoFeasibleConfigError",
+    "Scheduler",
+    "SchedulerDecision",
+    "SchedulingGoal",
+]
 
 _log = get_logger(__name__)
 
@@ -99,6 +117,103 @@ def _objective_array(
     raise ValueError(f"unknown scheduling goal {goal!r}")
 
 
+class NoFeasibleConfigError(RuntimeError):
+    """Selection had no runnable candidate at all.
+
+    Raised when the candidate set is empty or every configuration's
+    bounded power is non-finite — an empty frontier, or a full
+    quarantine under ``strict_quarantine=True``.  Distinct from the
+    infeasible-*cap* case, which still has runnable configurations and
+    falls back to the lowest-power one.
+    """
+
+
+def _prefix_best_reference(order: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Scalar prefix scan: ``best_at[p]`` is the original index of the
+    best-scoring configuration among the ``p + 1`` lowest-power ones,
+    breaking score ties toward the earliest prediction index.
+
+    This is the historical loop, kept as the executable specification
+    for :func:`_prefix_best` — and as the fallback when scores contain
+    NaN, whose comparison quirks (``s > best`` is False both ways) the
+    rank-key vectorization does not reproduce.
+    """
+    best_at = np.empty(order.size, dtype=np.intp)
+    best_i = -1
+    best_score = -np.inf
+    for pos, j in enumerate(order):
+        s = scores[j]
+        if best_i < 0 or s > best_score or (s == best_score and j < best_i):
+            best_i, best_score = int(j), s
+        best_at[pos] = best_i
+    return best_at
+
+
+def _prefix_best(order: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_prefix_best_reference` (element-identical).
+
+    Scores are densified to integer ranks, combined with the reversed
+    original index into a single key that is strictly monotone in
+    (score asc, index desc), and the running argmax falls out of two
+    ``maximum.accumulate`` passes.
+    """
+    n = order.size
+    s_sorted = scores[order]
+    if n == 0 or np.isnan(s_sorted).any():
+        return _prefix_best_reference(order, scores)
+    _, ranks = np.unique(s_sorted, return_inverse=True)
+    key = ranks.astype(np.int64) * n + (n - 1 - order.astype(np.int64))
+    running = np.maximum.accumulate(key)
+    best_pos = np.maximum.accumulate(
+        np.where(key == running, np.arange(n), 0)
+    )
+    return order[best_pos].astype(np.intp, copy=False)
+
+
+@dataclass(frozen=True)
+class CapSweepTable:
+    """Precomputed cap-sweep answers for one prediction.
+
+    Built once by :meth:`Scheduler.sweep_table`; every subsequent cap
+    (or whole cap vector) resolves with a single binary search.  The
+    table bakes in the scheduler's goal, risk settings, and quarantine
+    state at build time — consumers holding stale tables (see
+    ``repro.server``'s snapshot swap) must rebuild after a quarantine.
+
+    Attributes
+    ----------
+    sorted_power_w:
+        Bounded predicted power, ascending (stable order).
+    best_at:
+        ``best_at[p]`` — original prediction index of the winner among
+        the ``p + 1`` lowest-power configurations.
+    fallback_index:
+        Lowest-bounded-power configuration, chosen when a cap admits
+        nothing (the least-bad violation).
+    cap_scale:
+        ``1 - risk_margin``: caps are scaled by this before the search.
+    """
+
+    sorted_power_w: np.ndarray
+    best_at: np.ndarray
+    fallback_index: int
+    cap_scale: float
+
+    def lookup(
+        self, power_caps_w: Sequence[float] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve caps to ``(config_index, predicted_feasible)`` arrays."""
+        caps = np.asarray(power_caps_w, dtype=np.float64)
+        cut = np.searchsorted(
+            self.sorted_power_w, caps * self.cap_scale, side="right"
+        )
+        feasible = cut > 0
+        index = self.best_at[np.maximum(cut, 1) - 1]
+        if not feasible.all():
+            index = np.where(feasible, index, self.fallback_index)
+        return index, feasible
+
+
 class Scheduler:
     """Selects configurations from model predictions.
 
@@ -111,6 +226,13 @@ class Scheduler:
     risk_margin:
         Default cap-tightening fraction applied by :meth:`select` when
         no per-call value is given.
+    strict_quarantine:
+        By default a quarantine that would eliminate *every* candidate
+        is ignored — the runtime must still run the kernel somewhere.
+        Strict mode honors it and raises
+        :class:`NoFeasibleConfigError` instead, for callers (the
+        decision server) that can report "nothing to run" per request
+        rather than execute a known-stuck configuration.
     """
 
     def __init__(
@@ -118,12 +240,14 @@ class Scheduler:
         goal: SchedulingGoal = "performance",
         *,
         risk_margin: float = 0.0,
+        strict_quarantine: bool = False,
     ) -> None:
         _objective(goal, 1.0, 1.0)  # validates
         if not 0.0 <= risk_margin < 1.0:
             raise ValueError("risk_margin must be in [0, 1)")
         self.goal = goal
         self.risk_margin = risk_margin
+        self.strict_quarantine = strict_quarantine
         self._quarantined: set[Configuration] = set()
 
     # -- quarantine (graceful degradation, docs/ROBUSTNESS.md) -------------------
@@ -163,8 +287,11 @@ class Scheduler:
         """Power bounds with quarantined configurations forced to +inf
         (never feasible, never the fallback).  No-op — and zero overhead
         — while the quarantine set is empty.  If quarantine would
-        eliminate *every* candidate, it is ignored: the runtime must
-        still run the kernel somewhere.
+        eliminate *every* candidate, it is ignored (the runtime must
+        still run the kernel somewhere) unless ``strict_quarantine`` is
+        set, in which case the all-inf bounds make the subsequent
+        :meth:`_require_selectable` check raise
+        :class:`NoFeasibleConfigError`.
         """
         if not self._quarantined:
             return pw_bound
@@ -173,7 +300,9 @@ class Scheduler:
             dtype=bool,
             count=len(prediction.config_tuple),
         )
-        if not mask.any() or mask.all():
+        if not mask.any():
+            return pw_bound
+        if mask.all() and not self.strict_quarantine:
             return pw_bound
         return np.where(mask, np.inf, pw_bound)
 
@@ -262,6 +391,20 @@ class Scheduler:
                 "with_uncertainty=True"
             )
 
+    @staticmethod
+    def _require_selectable(
+        pw_bound: np.ndarray, prediction: KernelPrediction
+    ) -> None:
+        """Raise :class:`NoFeasibleConfigError` when no candidate has a
+        finite bounded power — nothing is runnable at *any* cap, so even
+        the lowest-power fallback would be meaningless."""
+        if pw_bound.size == 0 or not np.isfinite(pw_bound).any():
+            raise NoFeasibleConfigError(
+                f"no selectable configuration for kernel "
+                f"{prediction.kernel_uid!r}: every candidate is "
+                f"quarantined or has non-finite predicted power"
+            )
+
     # -- selection ---------------------------------------------------------------
 
     def select(
@@ -298,6 +441,12 @@ class Scheduler:
         confidence_z:
             Number of prediction standard deviations used for the
             risk-averse bounds.
+
+        Raises
+        ------
+        NoFeasibleConfigError
+            If no candidate is runnable at any cap — an empty candidate
+            set, or a full quarantine under ``strict_quarantine=True``.
         """
         if power_cap_w <= 0:
             raise ValueError("power_cap_w must be positive")
@@ -310,6 +459,7 @@ class Scheduler:
                 prediction, risk_averse, confidence_z
             )
             pw_bound = self._mask_quarantined(prediction, pw_bound)
+            self._require_selectable(pw_bound, prediction)
             feasible = pw_bound <= effective_cap
             feasible_idx = np.flatnonzero(feasible)
             if feasible_idx.size:
@@ -323,6 +473,42 @@ class Scheduler:
             # Fallback: minimize (bounded) predicted power.
             i = int(np.argmin(pw_bound))
             return self._decision(prediction, i, False)
+
+    def sweep_table(
+        self,
+        prediction: KernelPrediction,
+        *,
+        risk_margin: float | None = None,
+        risk_averse: bool = False,
+        confidence_z: float = 1.0,
+    ) -> CapSweepTable:
+        """Build the reusable cap-sweep structure for a prediction.
+
+        The table bakes in this scheduler's goal, the resolved risk
+        settings, and the quarantine state *at build time*; afterwards
+        any cap vector resolves via :meth:`CapSweepTable.lookup` with
+        one binary search per cap and no reference back to the
+        scheduler.  :meth:`select_many` builds one per call; the
+        decision server memoizes one per warm kernel.
+
+        Raises
+        ------
+        NoFeasibleConfigError
+            If no candidate is runnable at any cap (see :meth:`select`).
+        """
+        risk_margin = self._resolve_margin(risk_margin)
+        self._validate_selection_args(prediction, risk_averse, confidence_z)
+        pw_bound, perf_bound = self._bounds(prediction, risk_averse, confidence_z)
+        pw_bound = self._mask_quarantined(prediction, pw_bound)
+        self._require_selectable(pw_bound, prediction)
+        scores = _objective_array(self.goal, pw_bound, perf_bound)
+        order = np.argsort(pw_bound, kind="stable")
+        return CapSweepTable(
+            sorted_power_w=pw_bound[order],
+            best_at=_prefix_best(order, scores),
+            fallback_index=int(np.argmin(pw_bound)),
+            cap_scale=1.0 - risk_margin,
+        )
 
     def select_many(
         self,
@@ -338,57 +524,33 @@ class Scheduler:
         Equivalent to ``[self.select(prediction, c, ...) for c in
         power_caps_w]`` — decision-for-decision, including tie-breaking
         and the infeasible-cap fallback — but the per-config scores are
-        prefix-scanned once in ascending bounded-power order, after
-        which every cap costs a single binary search.
+        prefix-scanned once (:meth:`sweep_table`) in ascending
+        bounded-power order, after which every cap costs a single
+        binary search.
         """
         caps = np.asarray(power_caps_w, dtype=np.float64)
         if caps.ndim != 1:
             raise ValueError("power_caps_w must be one-dimensional")
         if caps.size and caps.min() <= 0:
             raise ValueError("power_cap_w must be positive")
-        risk_margin = self._resolve_margin(risk_margin)
-        self._validate_selection_args(prediction, risk_averse, confidence_z)
 
         with trace_span("online/select"):
-            pw_bound, perf_bound = self._bounds(
-                prediction, risk_averse, confidence_z
+            table = self.sweep_table(
+                prediction,
+                risk_margin=risk_margin,
+                risk_averse=risk_averse,
+                confidence_z=confidence_z,
             )
-            pw_bound = self._mask_quarantined(prediction, pw_bound)
-            scores = _objective_array(self.goal, pw_bound, perf_bound)
-
-            # Prefix scan in ascending bounded-power order: best_at[j] is
-            # the winner among the j+1 lowest-power configurations, breaking
-            # score ties toward the earliest prediction index (the scalar
-            # loop's iteration-order semantics).
-            order = np.argsort(pw_bound, kind="stable")
-            sorted_pw = pw_bound[order]
-            best_at = np.empty(order.size, dtype=np.intp)
-            best_i = -1
-            best_score = -np.inf
-            for pos, j in enumerate(order):
-                s = scores[j]
-                if best_i < 0 or s > best_score or (s == best_score and j < best_i):
-                    best_i, best_score = int(j), s
-                best_at[pos] = best_i
-            fallback_i = int(np.argmin(pw_bound))
-
-            effective_caps = caps * (1.0 - risk_margin)
-            cut = np.searchsorted(sorted_pw, effective_caps, side="right")
+            index, feasible = table.lookup(caps)
             # Counters update in bulk (one lock acquisition per sweep, not
             # per cap) so instrumentation stays off the per-decision path.
             log_debug = _log.isEnabledFor(logging.DEBUG)
             decisions = [
-                self._build_decision(
-                    prediction, int(best_at[c - 1]), True, log_debug
-                )
-                if c > 0
-                else self._build_decision(
-                    prediction, fallback_i, False, log_debug
-                )
-                for c in cut
+                self._build_decision(prediction, int(i), bool(f), log_debug)
+                for i, f in zip(index, feasible)
             ]
             _SELECTIONS.inc(int(caps.size))
-            infeasible = int(np.count_nonzero(cut == 0))
+            infeasible = int(np.count_nonzero(~feasible))
             if infeasible:
                 _FALLBACKS.inc(infeasible)
             return decisions

@@ -103,11 +103,13 @@ def evaluate_kernel(
             method.prepare(kernel)
 
         # Batched cap selection: each method answers the whole sweep at
-        # once (model-based methods in a single array pass, stateful
-        # baselines via their sequential default).  Per-method decision
-        # sequences are identical to the historical per-cap loop — each
-        # method still sees its caps in order on its own noise stream — so
-        # the records below are bit-identical, merely gathered per method
+        # once (model-based methods through the shared batched decision
+        # kernel, repro.server.engine.decide_batch — the same path the
+        # decision server takes — stateful baselines via their
+        # sequential default).  Per-method decision sequences are
+        # identical to the historical per-cap loop — each method still
+        # sees its caps in order on its own noise stream — so the
+        # records below are bit-identical, merely gathered per method
         # first and then laid out cap-major as before.
         oracle_decisions = oracle.decide_many(kernel, cap_list)
         method_decisions = [

@@ -76,12 +76,23 @@ class ModelMethod(PowerLimitMethod):
         return MethodDecision(config=decision.config, online_runs=2)
 
     def decide_many(self, kernel, power_caps_w) -> list[MethodDecision]:
-        """Whole cap sweep answered in one ``select_many`` pass over the
-        cached prediction arrays."""
+        """Whole cap sweep answered through the shared batched decision
+        kernel (:func:`repro.server.engine.decide_batch`) — the same
+        path the decision server takes, so harness and server decisions
+        cannot drift."""
+        from repro.server.engine import decide_batch
+
         prediction = self.prediction_for(kernel)
+        caps = np.asarray(power_caps_w, dtype=np.float64)
+        batch = decide_batch(
+            self.scheduler,
+            {kernel.uid: prediction},
+            [kernel.uid] * caps.size,
+            caps,
+        )
         return [
-            MethodDecision(config=d.config, online_runs=2)
-            for d in self.scheduler.select_many(prediction, power_caps_w)
+            MethodDecision(config=config, online_runs=2)
+            for config in batch.configs()
         ]
 
 

@@ -1,0 +1,299 @@
+"""Batching front ends: coalesce concurrent arrivals into one sweep.
+
+Two variants over the same :class:`~repro.server.service.DecisionService`:
+
+* :class:`DecisionServer` — a thread-based server for synchronous
+  callers.  ``submit`` enqueues a request under a condition variable
+  and returns a :class:`concurrent.futures.Future`; dispatcher threads
+  drain the bounded queue, wait up to ``max_delay_us`` for
+  co-batchees (skipped the moment the batch is full — the window
+  adapts to queue depth), answer the whole batch with one grouped
+  ``decide_batch`` sweep, and demultiplex results into the per-request
+  futures.
+* :class:`AsyncDecisionServer` — the same loop as an asyncio task for
+  event-loop callers; ``await server.decide(request)`` resolves when
+  the request's batch completes.
+
+Admission control is a bounded queue: arrivals beyond ``max_queue``
+are shed immediately with :class:`ServerOverloadError` (counted under
+``server.shed``) rather than queued into unbounded latency.  Each
+completed request observes its queue-to-resolution latency into the
+``server.latency_s`` histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+from repro.server.config import ServerConfig
+from repro.server.engine import DecisionRequest
+from repro.server.service import DecisionResult, DecisionService
+from repro.telemetry import counter, gauge, histogram
+
+__all__ = [
+    "AsyncDecisionServer",
+    "DecisionServer",
+    "ServerClosedError",
+    "ServerOverloadError",
+]
+
+_SHED = counter("server.shed")
+_QUEUE_DEPTH = gauge("server.queue_depth")
+_LATENCY = histogram("server.latency_s")
+
+_STOP = object()
+
+
+class ServerOverloadError(RuntimeError):
+    """The admission queue was full and the request was shed."""
+
+
+class ServerClosedError(RuntimeError):
+    """The server is not accepting requests (not started, or stopped)."""
+
+
+class DecisionServer:
+    """Thread-based batching server for synchronous callers.
+
+    Use as a context manager (``with DecisionServer(service) as s:``) or
+    call :meth:`start`/:meth:`stop` explicitly.  ``stop`` drains: every
+    request admitted before the call is still answered.
+    """
+
+    def __init__(
+        self, service: DecisionService, config: ServerConfig | None = None
+    ) -> None:
+        self._service = service
+        self.config = config if config is not None else ServerConfig.resolve()
+        self._entries: deque[tuple[DecisionRequest, Future, float]] = deque()
+        self._wake = threading.Condition()
+        self._closed = True
+        self._threads: list[threading.Thread] = []
+
+    def __enter__(self) -> "DecisionServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Spawn the dispatcher threads and begin accepting requests."""
+        with self._wake:
+            if self._threads:
+                raise RuntimeError("server already started")
+            self._closed = False
+            self._threads = [
+                threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-server-{i}",
+                    daemon=True,
+                )
+                for i in range(self.config.n_workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting requests, drain the queue, join the workers."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def submit(self, request: DecisionRequest) -> Future:
+        """Enqueue a request; the Future resolves to a
+        :class:`~repro.server.service.DecisionResult`.
+
+        Raises :class:`ServerClosedError` when the server is not
+        running and :class:`ServerOverloadError` when the bounded
+        admission queue is full (the shed is counted, not queued).
+        """
+        with self._wake:
+            if self._closed:
+                raise ServerClosedError("decision server is not running")
+            if len(self._entries) >= self.config.max_queue:
+                _SHED.inc()
+                raise ServerOverloadError(
+                    f"admission queue full ({self.config.max_queue} pending)"
+                )
+            future: Future = Future()
+            self._entries.append((request, future, time.perf_counter()))
+            _QUEUE_DEPTH.set(float(len(self._entries)))
+            self._wake.notify()
+            return future
+
+    def decide(
+        self, request: DecisionRequest, timeout: float | None = None
+    ) -> DecisionResult:
+        """Submit and block for the result (convenience wrapper)."""
+        return self.submit(request).result(timeout)
+
+    def _dispatch_loop(self) -> None:
+        cfg = self.config
+        delay_s = cfg.max_delay_s
+        while True:
+            batch: list[tuple[DecisionRequest, Future, float]] = []
+            with self._wake:
+                while not self._entries and not self._closed:
+                    self._wake.wait()
+                if not self._entries and self._closed:
+                    return
+                deadline = time.perf_counter() + delay_s
+                while True:
+                    while self._entries and len(batch) < cfg.max_batch:
+                        batch.append(self._entries.popleft())
+                    # Adaptive window: a full batch, a deep backlog, a
+                    # closing server, or a zero window dispatches now;
+                    # otherwise wait out the remaining delay for
+                    # co-batchees.
+                    if (
+                        len(batch) >= cfg.max_batch
+                        or self._entries
+                        or self._closed
+                        or delay_s <= 0.0
+                    ):
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0.0:
+                        break
+                    self._wake.wait(remaining)
+                _QUEUE_DEPTH.set(float(len(self._entries)))
+            self._answer(batch)
+
+    def _answer(
+        self, batch: list[tuple[DecisionRequest, Future, float]]
+    ) -> None:
+        # set_running_or_notify_cancel resolves the race with
+        # Future.cancel(): each future is either cancelled here, or
+        # transitions to RUNNING and is ours to resolve exactly once.
+        live = [
+            entry for entry in batch if entry[1].set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        try:
+            results = self._service.decide_batch(
+                [request for request, _, _ in live]
+            )
+        except BaseException as exc:  # pragma: no cover - defensive
+            for _, future, _ in live:
+                future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        for (_, future, enqueued), result in zip(live, results):
+            _LATENCY.observe(now - enqueued)
+            future.set_result(result)
+
+
+class AsyncDecisionServer:
+    """Asyncio batching server: the same coalescing loop as a task.
+
+    Use as an async context manager or call ``await start()`` /
+    ``await stop()``.  ``decide`` is a coroutine resolving when the
+    request's batch is answered; the underlying grouped sweep runs on
+    the event-loop thread (the engine's array math holds the loop for
+    microseconds per thousand requests).
+    """
+
+    def __init__(
+        self, service: DecisionService, config: ServerConfig | None = None
+    ) -> None:
+        self._service = service
+        self.config = config if config is not None else ServerConfig.resolve()
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+
+    async def __aenter__(self) -> "AsyncDecisionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        """Start the dispatcher task on the running loop."""
+        if self._task is not None:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def stop(self) -> None:
+        """Drain the queue and stop the dispatcher task."""
+        if self._task is None:
+            return
+        await self._queue.put(_STOP)
+        await self._task
+        self._task = None
+        self._queue = None
+
+    async def decide(self, request: DecisionRequest) -> DecisionResult:
+        """Submit a request and await its result."""
+        if self._task is None:
+            raise ServerClosedError("decision server is not running")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, future, time.perf_counter()))
+        except asyncio.QueueFull:
+            _SHED.inc()
+            raise ServerOverloadError(
+                f"admission queue full ({self.config.max_queue} pending)"
+            ) from None
+        _QUEUE_DEPTH.set(float(self._queue.qsize()))
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        cfg = self.config
+        delay_s = cfg.max_delay_s
+        stopping = False
+        while not stopping:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + delay_s
+            while len(batch) < cfg.max_batch:
+                try:
+                    entry = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0.0:
+                        break
+                    try:
+                        entry = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if entry is _STOP:
+                    stopping = True
+                    break
+                batch.append(entry)
+            self._answer(batch)
+
+    def _answer(self, batch) -> None:
+        live = [entry for entry in batch if not entry[1].cancelled()]
+        if not live:
+            return
+        try:
+            results = self._service.decide_batch(
+                [request for request, _, _ in live]
+            )
+        except BaseException as exc:  # pragma: no cover - defensive
+            for _, future, _ in live:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        for (_, future, enqueued), result in zip(live, results):
+            if not future.cancelled():
+                _LATENCY.observe(now - enqueued)
+                future.set_result(result)

@@ -1,0 +1,246 @@
+"""The pure batched decision kernel shared by server and harness.
+
+:func:`decide_batch` is the single selection path for heterogeneous
+``(kernel, cap)`` request batches: it groups requests by kernel (dict
+encoding against the prediction catalogue, then one integer
+:func:`numpy.unique`), answers each group through a memoized
+:class:`~repro.core.scheduler.CapSweepTable` (one binary search per
+cap), and scatters results back into request order as a
+structure-of-arrays :class:`BatchDecisions`.  Both the LOOCV harness
+(via :meth:`repro.methods.model_method.ModelMethod.decide_many`) and
+the decision server (:mod:`repro.server.service`) call it, so the two
+paths cannot drift — the server's answers are bit-identical to the
+evaluation's by construction.
+
+Telemetry mirrors ``Scheduler.select_many`` exactly: the whole batch
+runs under one ``online/select`` span and counters update in bulk
+(``scheduler.selections`` once per request,
+``scheduler.infeasible_fallbacks`` for the subset of caps no
+configuration was predicted to meet).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.predictor import KernelPrediction
+from repro.core.scheduler import CapSweepTable, Scheduler, SchedulerDecision
+from repro.hardware.config import Configuration
+from repro.telemetry import counter, trace_span
+
+__all__ = ["BatchDecisions", "DecisionRequest", "decide_batch"]
+
+# Same counter objects as core.scheduler (the registry returns one
+# object per name), so engine-path decisions land in the same totals.
+_SELECTIONS = counter("scheduler.selections")
+_FALLBACKS = counter("scheduler.infeasible_fallbacks")
+
+
+class DecisionRequest:
+    """One decision request: which kernel, under what cap."""
+
+    __slots__ = ("kernel_uid", "power_cap_w")
+
+    def __init__(self, kernel_uid: str, power_cap_w: float) -> None:
+        self.kernel_uid = kernel_uid
+        self.power_cap_w = power_cap_w
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionRequest({self.kernel_uid!r}, "
+            f"power_cap_w={self.power_cap_w!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DecisionRequest)
+            and self.kernel_uid == other.kernel_uid
+            and self.power_cap_w == other.power_cap_w
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kernel_uid, self.power_cap_w))
+
+
+class BatchDecisions:
+    """Structure-of-arrays result of :func:`decide_batch`.
+
+    Parallel to the request arrays: ``config_index[i]`` is the chosen
+    configuration's index in kernel ``kernel_uids[i]``'s prediction,
+    with the predicted power/performance gathered alongside.  Full
+    :class:`Configuration` / :class:`SchedulerDecision` objects are
+    materialized lazily per element — the hot path (throughput
+    benchmarks, bulk evaluation) never pays for them.
+    """
+
+    __slots__ = (
+        "kernel_uids",
+        "power_caps_w",
+        "config_index",
+        "feasible",
+        "predicted_power_w",
+        "predicted_performance",
+        "_predictions",
+    )
+
+    def __init__(
+        self,
+        kernel_uids: Sequence[str],
+        power_caps_w: np.ndarray,
+        config_index: np.ndarray,
+        feasible: np.ndarray,
+        predicted_power_w: np.ndarray,
+        predicted_performance: np.ndarray,
+        predictions: Mapping[str, KernelPrediction],
+    ) -> None:
+        self.kernel_uids = kernel_uids
+        self.power_caps_w = power_caps_w
+        self.config_index = config_index
+        self.feasible = feasible
+        self.predicted_power_w = predicted_power_w
+        self.predicted_performance = predicted_performance
+        self._predictions = predictions
+
+    def __len__(self) -> int:
+        return self.config_index.size
+
+    def config(self, i: int) -> Configuration:
+        """The selected configuration for request ``i``."""
+        prediction = self._predictions[self.kernel_uids[i]]
+        return prediction.config_at(int(self.config_index[i]))
+
+    def configs(self) -> list[Configuration]:
+        """All selected configurations, in request order."""
+        return [self.config(i) for i in range(len(self))]
+
+    def decision(self, i: int) -> SchedulerDecision:
+        """Request ``i`` as a full :class:`SchedulerDecision`."""
+        return SchedulerDecision(
+            config=self.config(i),
+            predicted_power_w=float(self.predicted_power_w[i]),
+            predicted_performance=float(self.predicted_performance[i]),
+            predicted_feasible=bool(self.feasible[i]),
+        )
+
+    def decisions(self) -> list[SchedulerDecision]:
+        """All requests as :class:`SchedulerDecision` objects."""
+        return [self.decision(i) for i in range(len(self))]
+
+
+def decide_batch(
+    scheduler: Scheduler,
+    predictions: Mapping[str, KernelPrediction],
+    kernel_uids: Sequence[str] | np.ndarray,
+    power_caps_w: Sequence[float] | np.ndarray,
+    *,
+    tables: Mapping[str, CapSweepTable] | None = None,
+    risk_margin: float | None = None,
+    risk_averse: bool = False,
+    confidence_z: float = 1.0,
+) -> BatchDecisions:
+    """Answer a heterogeneous ``(kernel, cap)`` batch in one sweep.
+
+    Parameters
+    ----------
+    scheduler:
+        Selection policy; used to build sweep tables for kernels not
+        already covered by ``tables``.
+    predictions:
+        Whole-space prediction per kernel uid.  Every uid appearing in
+        ``kernel_uids`` must be present (:class:`KeyError` otherwise —
+        the server resolves unknown kernels to per-request errors
+        *before* calling this).
+    kernel_uids, power_caps_w:
+        Parallel request arrays.
+    tables:
+        Optional memoized :class:`CapSweepTable` per uid (the server's
+        snapshot provides these); missing entries are built on the fly.
+
+    Returns
+    -------
+    BatchDecisions
+        Results in request order, element-identical to calling
+        ``scheduler.select(predictions[uid], cap)`` per request.
+    """
+    caps = np.asarray(power_caps_w, dtype=np.float64)
+    if isinstance(kernel_uids, np.ndarray):
+        uids: Sequence[str] = kernel_uids.tolist()
+    else:
+        uids = list(kernel_uids)
+    if caps.ndim != 1 or len(uids) != caps.size:
+        raise ValueError(
+            "kernel_uids and power_caps_w must be parallel 1-d sequences"
+        )
+    if caps.size and caps.min() <= 0:
+        raise ValueError("power_cap_w must be positive")
+
+    with trace_span("online/select"):
+        n = caps.size
+        index = np.empty(n, dtype=np.intp)
+        feasible = np.empty(n, dtype=bool)
+        power = np.empty(n, dtype=np.float64)
+        perf = np.empty(n, dtype=np.float64)
+
+        # Group by kernel without a string sort: encode uids against the
+        # prediction catalogue (str hashes are cached on the request
+        # objects, so this is ~10x cheaper than np.unique on a str
+        # array), then sort the small integer codes.
+        code_of = {uid: code for code, uid in enumerate(predictions)}
+        try:
+            codes = np.fromiter(
+                (code_of[u] for u in uids), dtype=np.int64, count=n
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"no prediction for kernel uid {exc.args[0]!r}"
+            ) from None
+        names = list(predictions)
+        unique_codes, inverse = np.unique(codes, return_inverse=True)
+        if unique_codes.size <= 1:
+            groups = [(g, slice(None)) for g in range(unique_codes.size)]
+        else:
+            # Stable argsort of the group codes yields each kernel's
+            # request positions as one contiguous slice.
+            order = np.argsort(inverse, kind="stable")
+            starts = np.searchsorted(
+                inverse[order], np.arange(unique_codes.size)
+            )
+            ends = np.append(starts[1:], n)
+            groups = [
+                (g, order[starts[g]:ends[g]])
+                for g in range(unique_codes.size)
+            ]
+
+        for g, rows in groups:
+            uid = names[int(unique_codes[g])]
+            prediction = predictions[uid]
+            table = tables.get(uid) if tables is not None else None
+            if table is None:
+                table = scheduler.sweep_table(
+                    prediction,
+                    risk_margin=risk_margin,
+                    risk_averse=risk_averse,
+                    confidence_z=confidence_z,
+                )
+            g_index, g_feasible = table.lookup(caps[rows])
+            index[rows] = g_index
+            feasible[rows] = g_feasible
+            power[rows] = prediction.power_array[g_index]
+            perf[rows] = prediction.performance_array[g_index]
+
+        _SELECTIONS.inc(n)
+        infeasible = n - int(np.count_nonzero(feasible))
+        if infeasible:
+            _FALLBACKS.inc(infeasible)
+
+    return BatchDecisions(
+        kernel_uids=uids,
+        power_caps_w=caps,
+        config_index=index,
+        feasible=feasible,
+        predicted_power_w=power,
+        predicted_performance=perf,
+        predictions=predictions,
+    )

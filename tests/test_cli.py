@@ -230,3 +230,64 @@ class TestClusterCommand:
         assert counters.get("cluster.alloc.steps_taken", 0) > 0
         spans = {n["name"] for n in data["spans"]}
         assert "cluster/tree_allocate" in spans
+
+
+class TestServeCommand:
+    def test_parses_serve_args(self):
+        p = build_parser()
+        args = p.parse_args(
+            ["serve", "--requests", "500", "--rate", "5000",
+             "--max-batch", "64", "--max-delay-us", "100",
+             "--telemetry-out", "t.json"]
+        )
+        assert args.command == "serve"
+        assert args.requests == 500 and args.rate == 5000.0
+        assert args.max_batch == 64 and args.max_delay_us == 100.0
+        assert args.telemetry_out == "t.json"
+
+    def test_serves_and_writes_telemetry(self, tmp_path, capsys):
+        out_path = tmp_path / "server-telemetry.json"
+        rc = main(
+            ["-q", "serve", "--requests", "600", "--rate", "20000",
+             "--telemetry-out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 600 decisions" in out
+        assert "latency p50" in out
+        assert "batching:" in out
+        data = json.loads(out_path.read_text())
+        counters = data["metrics"]["counters"]
+        assert counters["server.requests"] >= 600
+        assert 0 < counters["server.batches"] < counters["server.requests"]
+        spans = {n["name"] for n in data["spans"]}
+        assert "server/batch" in spans and "server/warm" in spans
+
+    def test_bad_arguments_fail_cleanly(self, capsys):
+        assert main(["-q", "serve", "--requests", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["-q", "serve", "--rate", "-5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchServeCommand:
+    def test_admission_table_and_json(self, tmp_path, capsys):
+        out_path = tmp_path / "bench_serve.json"
+        rc = main(
+            ["-q", "bench-serve", "--rates", "4000,20000",
+             "--duration", "0.15", "-o", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered/s" in out and "p99 us" in out
+        assert len(out.strip().splitlines()) >= 3  # header + 2 rates
+        data = json.loads(out_path.read_text())
+        assert [r["offered_rps"] for r in data["loads"]] == [4000.0, 20000.0]
+        assert all(r["completed"] > 0 for r in data["loads"])
+        assert data["config"]["max_batch"] >= 1
+
+    def test_bad_rates_fail_cleanly(self, capsys):
+        assert main(["-q", "bench-serve", "--rates", "fast"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["-q", "bench-serve", "--rates", "-3"]) == 2
+        assert "error" in capsys.readouterr().err

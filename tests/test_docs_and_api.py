@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.methods",
     "repro.profiling",
     "repro.runtime",
+    "repro.server",
     "repro.stats",
     "repro.telemetry",
     "repro.workloads",
@@ -79,6 +80,11 @@ MODULES = [
     "repro.runtime.application",
     "repro.runtime.energy",
     "repro.runtime.trace",
+    "repro.server.batching",
+    "repro.server.config",
+    "repro.server.engine",
+    "repro.server.loadgen",
+    "repro.server.service",
     "repro.stats.agglomerative",
     "repro.stats.cart",
     "repro.stats.crossval",
@@ -128,7 +134,7 @@ class TestDocIntegrity:
         "doc",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PAPER_MAPPING.md",
          "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md", "docs/CLUSTER.md",
-         "examples/README.md"],
+         "docs/SERVER.md", "examples/README.md"],
     )
     def test_referenced_files_exist(self, doc):
         doc_path = REPO / doc
