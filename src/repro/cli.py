@@ -9,8 +9,11 @@ Gives the paper's workflow a shell-level surface::
     repro evaluate --seed 0              # Table III end to end
     repro eval --telemetry-out t.json    # ... plus the telemetry report
     repro serve --rate 20000             # the concurrent decision server
+    repro serve --monitor-port 9109      # ... with live /metrics + SLO alerts
     repro bench-serve                    # offered-load admission benchmark
     repro telemetry t.json               # pretty-print a saved report
+    repro telemetry --diff a.json b.json # compare two reports
+    repro top 127.0.0.1:9109             # ops view of a running monitor
 
 Every command is deterministic given ``--seed``.
 
@@ -281,6 +284,42 @@ def build_parser() -> argparse.ArgumentParser:
         "this scenario JSON (training stays clean)",
     )
     p_serve.add_argument("--telemetry-out", default=None, help=telemetry_help)
+    p_serve.add_argument(
+        "--monitor-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus /metrics, /monitor.json, and "
+        "/healthz on this port (0 = ephemeral); implies continuous "
+        "monitoring",
+    )
+    p_serve.add_argument(
+        "--monitor-interval-ms",
+        type=float,
+        default=200.0,
+        help="monitor sampling interval in milliseconds (default 200)",
+    )
+    p_serve.add_argument(
+        "--monitor-dump",
+        default=None,
+        metavar="PATH",
+        help="write the final monitor state (ring buffer, alerts, "
+        "exemplar traces) to this JSON path; implies monitoring",
+    )
+    p_serve.add_argument(
+        "--monitor-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per monitor sample to this path",
+    )
+    p_serve.add_argument(
+        "--slo-file",
+        default=None,
+        metavar="PATH",
+        help="JSON list of SLO specs to alert on (default: the server's "
+        "built-in latency/shed/error/degradation objectives); implies "
+        "monitoring",
+    )
 
     p_bserve = sub.add_parser(
         "bench-serve",
@@ -313,9 +352,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_tel = sub.add_parser(
-        "telemetry", help="pretty-print a saved telemetry report"
+        "telemetry", help="pretty-print or compare saved telemetry reports"
     )
-    p_tel.add_argument("path", help="telemetry JSON path (from --telemetry-out)")
+    p_tel.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="telemetry JSON path (from --telemetry-out)",
+    )
+    p_tel.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("A", "B"),
+        help="compare two telemetry reports (counter deltas, gauge "
+        "shifts, histogram percentile movement) instead of printing one",
+    )
+    p_tel.add_argument(
+        "--all",
+        action="store_true",
+        help="with --diff: include unchanged rows too",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="ops view of a live monitor (scrape), a saved monitor "
+        "dump, or a cluster epoch simulation",
+    )
+    p_top.add_argument(
+        "target",
+        nargs="?",
+        default="127.0.0.1:9109",
+        help="host:port or URL of a 'repro serve --monitor-port' "
+        "process (default 127.0.0.1:9109)",
+    )
+    p_top.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
+        help="render a saved --monitor-dump JSON instead of scraping",
+    )
+    p_top.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run a small managed-cluster epoch simulation in-process "
+        "(budget squeeze mid-run) and render its monitor instead of "
+        "scraping",
+    )
+    p_top.add_argument(
+        "--epochs",
+        type=int,
+        default=8,
+        help="with --cluster: epochs to simulate (default 8)",
+    )
+    p_top.add_argument(
+        "--frames",
+        type=int,
+        default=1,
+        help="frames to render before exiting (default 1; scrape mode)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frames (default 1.0)",
+    )
+    p_top.add_argument(
+        "--window",
+        type=float,
+        default=5.0,
+        help="rate/percentile window in seconds (default 5.0)",
+    )
     return parser
 
 
@@ -603,6 +710,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate,
         fault_plan=args.fault_plan,
     )
+    monitor = None
+    if (
+        args.monitor_port is not None
+        or args.monitor_dump is not None
+        or args.monitor_jsonl is not None
+        or args.slo_file is not None
+    ):
+        from repro.telemetry.monitor import (
+            Monitor,
+            default_server_slos,
+            load_slo_specs,
+        )
+
+        if args.monitor_interval_ms <= 0:
+            print("error: --monitor-interval-ms must be positive",
+                  file=sys.stderr)
+            return 2
+        slos = (
+            load_slo_specs(args.slo_file)
+            if args.slo_file is not None
+            else default_server_slos()
+        )
+        monitor = Monitor(slos=slos, jsonl=args.monitor_jsonl)
+        # Start before the service is built so the warm phase (where
+        # fault-plan degradation happens) is observed too.
+        monitor.start(interval_s=args.monitor_interval_ms / 1e3)
+        if args.monitor_port is not None:
+            port = monitor.serve(args.monitor_port)
+            log_event(
+                _log,
+                logging.INFO,
+                "monitor-listening",
+                port=port,
+                slos=len(slos),
+            )
     service = build_default_service(seed=args.seed, fault_plan=args.fault_plan)
     warm_errors = service.warm()
     config = ServerConfig.resolve(
@@ -637,6 +779,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"shed {report.shed:,}, per-request errors {report.errors:,}"
           + (f", unservable kernels {len(warm_errors)}" if warm_errors else ""))
+    if monitor is not None:
+        monitor.stop()
+        monitor.tick()  # one final sample so the run's tail is captured
+        fired = sum(a.fired for a in monitor.slo_engine.alerts)
+        cleared = sum(a.cleared for a in monitor.slo_engine.alerts)
+        firing = [
+            a.spec.name
+            for a in monitor.slo_engine.alerts
+            if a.state == "firing"
+        ]
+        print(
+            f"slo: {fired} alerts fired, {cleared} cleared over the run"
+            + (f", still firing: {', '.join(firing)}" if firing else "")
+        )
+        if args.monitor_dump is not None:
+            monitor.write_dump(args.monitor_dump)
+            log_event(
+                _log,
+                logging.INFO,
+                "monitor-dump-written",
+                path=args.monitor_dump,
+            )
+        monitor.close()
     if args.telemetry_out is not None:
         write_telemetry(args.telemetry_out)
         log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
@@ -691,12 +856,125 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_telemetry, render_telemetry_diff
+
+    if (args.path is None) == (args.diff is None):
+        print(
+            "error: give either a telemetry path or --diff A B",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        data = load_telemetry(args.path)
+        if args.diff is not None:
+            a, b = (load_telemetry(p) for p in args.diff)
+            print(render_telemetry_diff(
+                diff_telemetry(a, b), all_rows=args.all
+            ))
+        else:
+            print(render_telemetry(load_telemetry(args.path)))
     except (OSError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    print(render_telemetry(data))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+    from pathlib import Path
+    from urllib.error import URLError
+
+    from repro.telemetry.monitor import fetch_monitor_dump, render_top
+
+    if args.cluster:
+        return _run_cluster_top(args)
+    if args.dump is not None:
+        try:
+            dump = _json.loads(
+                Path(args.dump).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(render_top(dump, window_s=args.window), end="")
+        return 0
+    if args.frames < 1:
+        print("error: --frames must be >= 1", file=sys.stderr)
+        return 2
+    for frame in range(args.frames):
+        if frame:
+            _time.sleep(args.interval)
+        try:
+            dump = fetch_monitor_dump(args.target)
+        except (URLError, OSError, ValueError) as e:
+            print(f"error: cannot scrape {args.target}: {e}",
+                  file=sys.stderr)
+            return 2
+        if frame:
+            print()
+        print(render_top(dump, window_s=args.window), end="")
+    return 0
+
+
+def _run_cluster_top(args: argparse.Namespace) -> int:
+    """``repro top --cluster``: a managed epoch simulation with a
+    mid-run budget squeeze, monitored per epoch and rendered at the
+    end.  The squeeze drives the over-budget SLO through a full
+    fire-then-clear cycle on the epoch clock."""
+    from repro.cluster import ClusterNode, ClusterPowerManager
+    from repro.runtime import Application
+    from repro.telemetry.monitor import (
+        Monitor,
+        default_cluster_slos,
+        render_top,
+    )
+
+    if args.epochs < 4:
+        print("error: --epochs must be >= 4", file=sys.stderr)
+        return 2
+    suite = build_suite()
+    apu = TrinityAPU(seed=args.seed)
+    library = ProfilingLibrary(apu, seed=args.seed)
+    log_event(_log, logging.INFO, "top-cluster-training")
+    model = train_model(library, list(suite))
+    nodes = [
+        ClusterNode(
+            f"n{i}",
+            Application.from_suite(suite, group),
+            model,
+            seed=args.seed + 1 + i,
+        )
+        for i, group in enumerate(("LU Small", "LU Large", "CoMD Small"))
+    ]
+    manager = ClusterPowerManager(nodes, policy="greedy")
+    floors = sum(
+        f.points[0].expected_power_w
+        for f in manager.frontiers().values()
+    )
+    # Generous budget, then a squeeze below the fleet's floor power for
+    # two epochs (over-budget is then unavoidable), then generous again.
+    squeeze = range(args.epochs // 2, args.epochs // 2 + 2)
+
+    def budgets(epoch: int) -> float:
+        return floors * (0.6 if epoch in squeeze else 1.5)
+
+    monitor = Monitor(
+        slos=default_cluster_slos(short_window_s=1.0, long_window_s=2.0)
+    )
+    try:
+        report = manager.run(
+            budgets,
+            n_epochs=args.epochs,
+            timesteps_per_epoch=2,
+            monitor=monitor,
+        )
+        print(render_top(monitor.dump(), window_s=args.window), end="")
+        print(
+            f"\n{len(report.epochs)} epochs simulated, budget "
+            f"compliance {report.budget_compliance():.0%}"
+        )
+    finally:
+        monitor.close()
     return 0
 
 
@@ -714,6 +992,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "telemetry": _cmd_telemetry,
+    "top": _cmd_top,
 }
 
 

@@ -23,7 +23,7 @@ from repro.cluster.faults import CLUSTER_FAULT_KINDS, ClusterFaultPlan
 from repro.cluster.node import ClusterNode, NodeFrontier
 from repro.constants import respects_cap
 from repro.runtime.trace import ApplicationTrace
-from repro.telemetry import counter
+from repro.telemetry import counter, gauge
 
 __all__ = ["EpochResult", "ClusterReport", "ClusterPowerManager"]
 
@@ -34,6 +34,13 @@ _FAULT_COUNTS = {
 }
 _FAULT_UNKNOWN = counter("faults.cluster.unknown_node")
 _EPOCHS_DEGRADED = counter("faults.cluster.epochs_degraded")
+
+_EPOCHS = counter("cluster.epochs")
+_EPOCH_BUDGET = gauge("cluster.epoch.budget_w")
+_EPOCH_POWER = gauge("cluster.epoch.power_w")
+_EPOCH_RATE = gauge("cluster.epoch.rate")
+_EPOCH_NODES = gauge("cluster.epoch.nodes")
+_EPOCH_OVER_BUDGET = gauge("cluster.epoch.over_budget_w")
 
 
 @dataclass(frozen=True)
@@ -224,11 +231,17 @@ class ClusterPowerManager:
         *,
         n_epochs: int,
         timesteps_per_epoch: int,
+        monitor=None,
     ) -> ClusterReport:
         """Run the cluster for ``n_epochs`` epochs.
 
         ``budgets_w`` is either a per-epoch sequence (length
         ``n_epochs``) or a function of the epoch index.
+
+        ``monitor`` (a :class:`repro.telemetry.monitor.Monitor`) gets
+        one tick per epoch on the epoch clock — the simulation analogue
+        of the serve CLI's interval thread — so SLOs like budget
+        compliance and degraded-epoch rate are judged per epoch.
         """
         if n_epochs < 1 or timesteps_per_epoch < 1:
             raise ValueError("n_epochs and timesteps_per_epoch must be >= 1")
@@ -247,9 +260,22 @@ class ClusterPowerManager:
                 for name in caps
                 if name not in lost
             }
-            report.epochs.append(
-                EpochResult(
-                    epoch=epoch, budget_w=budget, caps_w=caps, traces=traces
-                )
+            result = EpochResult(
+                epoch=epoch, budget_w=budget, caps_w=caps, traces=traces
             )
+            report.epochs.append(result)
+            _EPOCHS.inc()
+            _EPOCH_BUDGET.set(budget)
+            _EPOCH_POWER.set(result.cluster_power_w)
+            _EPOCH_RATE.set(result.aggregate_rate)
+            _EPOCH_NODES.set(float(len(traces)))
+            # Honour the shared CAP_EPSILON tolerance: a compliant epoch
+            # reads exactly 0.0 so the default <= 0 SLO stays quiet.
+            _EPOCH_OVER_BUDGET.set(
+                0.0
+                if result.within_budget
+                else result.cluster_power_w - budget
+            )
+            if monitor is not None:
+                monitor.tick(t=float(epoch))
         return report

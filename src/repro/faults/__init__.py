@@ -41,7 +41,21 @@ from repro.faults.plan import (
     FaultPlan,
 )
 
+#: Counters the degradation paths bump when they absorb a fault; any of
+#: these increasing means the pipeline is running degraded.  The monitor
+#: builds its default zero-tolerance burn-rate SLOs from this list
+#: (:func:`repro.telemetry.monitor.slo.default_fault_slos`).
+DEGRADATION_COUNTER_NAMES = (
+    "faults.retries",
+    "faults.sample_fallbacks",
+    "faults.failed_invocations",
+    "faults.corrupt_samples",
+    "faults.stuck_executions",
+    "faults.quarantined_configs",
+)
+
 __all__ = [
+    "DEGRADATION_COUNTER_NAMES",
     "FALLBACK_CPU_PLANE_W",
     "FALLBACK_NBGPU_PLANE_W",
     "FALLBACK_TIME_S",

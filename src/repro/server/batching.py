@@ -32,7 +32,13 @@ from concurrent.futures import Future
 from repro.server.config import ServerConfig
 from repro.server.engine import DecisionRequest
 from repro.server.service import DecisionResult, DecisionService
-from repro.telemetry import counter, gauge, histogram
+from repro.telemetry import PhaseTrace, counter, gauge, histogram
+from repro.telemetry.monitor.exemplars import (
+    active_store,
+    record_error,
+    record_shed,
+    record_slow,
+)
 
 __all__ = [
     "AsyncDecisionServer",
@@ -46,6 +52,42 @@ _QUEUE_DEPTH = gauge("server.queue_depth")
 _LATENCY = histogram("server.latency_s")
 
 _STOP = object()
+
+
+def _record_batch_exemplars(
+    live: list, results: list[DecisionResult], t_decide: float, now: float
+) -> None:
+    """Offer this batch's notable requests to the active exemplar store.
+
+    Called once per *batch* (never per request) and only when a monitor
+    is attached — the slowest request gets a queued/decide phase trace,
+    error results are offered as error exemplars.
+    """
+    slowest = None
+    for (request, _, enqueued), result in zip(live, results):
+        latency = now - enqueued
+        if result.error is not None:
+            record_error(
+                request.kernel_uid,
+                request.power_cap_w,
+                result.error,
+                latency_s=latency,
+                batch_size=len(live),
+            )
+        if slowest is None or latency > slowest[0]:
+            slowest = (latency, enqueued, request)
+    if slowest is not None:
+        latency, enqueued, request = slowest
+        trace = PhaseTrace()
+        trace.add("queued", 0.0, t_decide - enqueued)
+        trace.add("decide", t_decide - enqueued, now - t_decide)
+        record_slow(
+            request.kernel_uid,
+            request.power_cap_w,
+            latency,
+            batch_size=len(live),
+            trace=trace,
+        )
 
 
 class ServerOverloadError(RuntimeError):
@@ -120,6 +162,7 @@ class DecisionServer:
                 raise ServerClosedError("decision server is not running")
             if len(self._entries) >= self.config.max_queue:
                 _SHED.inc()
+                record_shed(request.kernel_uid, request.power_cap_w)
                 raise ServerOverloadError(
                     f"admission queue full ({self.config.max_queue} pending)"
                 )
@@ -178,6 +221,7 @@ class DecisionServer:
         ]
         if not live:
             return
+        t_decide = time.perf_counter()
         try:
             results = self._service.decide_batch(
                 [request for request, _, _ in live]
@@ -190,6 +234,8 @@ class DecisionServer:
         for (_, future, enqueued), result in zip(live, results):
             _LATENCY.observe(now - enqueued)
             future.set_result(result)
+        if active_store() is not None:
+            _record_batch_exemplars(live, results, t_decide, now)
 
 
 class AsyncDecisionServer:
@@ -244,6 +290,7 @@ class AsyncDecisionServer:
             self._queue.put_nowait((request, future, time.perf_counter()))
         except asyncio.QueueFull:
             _SHED.inc()
+            record_shed(request.kernel_uid, request.power_cap_w)
             raise ServerOverloadError(
                 f"admission queue full ({self.config.max_queue} pending)"
             ) from None
@@ -283,6 +330,7 @@ class AsyncDecisionServer:
         live = [entry for entry in batch if not entry[1].cancelled()]
         if not live:
             return
+        t_decide = time.perf_counter()
         try:
             results = self._service.decide_batch(
                 [request for request, _, _ in live]
@@ -297,3 +345,5 @@ class AsyncDecisionServer:
             if not future.cancelled():
                 _LATENCY.observe(now - enqueued)
                 future.set_result(result)
+        if active_store() is not None:
+            _record_batch_exemplars(live, results, t_decide, now)

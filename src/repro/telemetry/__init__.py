@@ -15,7 +15,10 @@ disabled via :func:`set_enabled`:
   lines on stderr) for fold progress, cluster assignments,
   cap-violation events, and scheduler decisions;
 * :mod:`repro.telemetry.report` — the ``telemetry.json`` artifact tying
-  spans and metrics together.
+  spans and metrics together;
+* :mod:`repro.telemetry.monitor` — the continuous layer: a ring buffer
+  of registry snapshots, SLO burn-rate alerting, exemplar tracing,
+  Prometheus/JSONL exporters, and the ``repro top`` ops view.
 
 See ``docs/OBSERVABILITY.md`` for the metric and span catalogue.
 """
@@ -35,23 +38,48 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.report import (
     TELEMETRY_VERSION,
+    diff_telemetry,
     load_telemetry,
     render_telemetry,
+    render_telemetry_diff,
     telemetry_snapshot,
     write_telemetry,
 )
-from repro.telemetry.spans import SpanNode, Tracer, get_tracer, trace_span
+from repro.telemetry.spans import (
+    PhaseTrace,
+    SpanNode,
+    Tracer,
+    get_tracer,
+    trace_span,
+)
+from repro.telemetry.monitor import (
+    ExemplarStore,
+    Monitor,
+    SLOEngine,
+    SLOSpec,
+    TimeSeriesStore,
+    parse_slo,
+    render_prometheus,
+    render_top,
+)
 
 __all__ = [
     "Counter",
+    "ExemplarStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Monitor",
+    "PhaseTrace",
+    "SLOEngine",
+    "SLOSpec",
     "SpanNode",
     "TELEMETRY_VERSION",
+    "TimeSeriesStore",
     "Tracer",
     "configure_logging",
     "counter",
+    "diff_telemetry",
     "gauge",
     "get_logger",
     "get_registry",
@@ -60,7 +88,11 @@ __all__ = [
     "is_enabled",
     "load_telemetry",
     "log_event",
+    "parse_slo",
+    "render_prometheus",
     "render_telemetry",
+    "render_telemetry_diff",
+    "render_top",
     "set_enabled",
     "telemetry_snapshot",
     "trace_span",

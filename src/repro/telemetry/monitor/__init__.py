@@ -1,0 +1,82 @@
+"""Continuous monitoring over the telemetry registry.
+
+The :mod:`repro.telemetry` registry (PR 3) is batch-shaped: counters
+and histograms accumulate for a run and are rendered once at the end.
+This package adds the *continuous* layer a long-lived decision server
+or a fleet epoch loop needs:
+
+- :mod:`~repro.telemetry.monitor.timeseries` — a bounded ring of
+  registry snapshots with reset-aware rate / windowed-percentile views;
+- :mod:`~repro.telemetry.monitor.slo` — declarative SLO specs with
+  multi-window burn-rate alerting over the ring;
+- :mod:`~repro.telemetry.monitor.exemplars` — bounded capture of the
+  K slowest / shed / errored requests per window, with per-request
+  phase traces;
+- :mod:`~repro.telemetry.monitor.exporters` — Prometheus text
+  exposition and JSON-lines export, served from a stdlib HTTP thread;
+- :mod:`~repro.telemetry.monitor.service` — the :class:`Monitor`
+  object tying them together with a single ``tick``;
+- :mod:`~repro.telemetry.monitor.top` — the ``repro top`` ops view
+  rendered from a monitor dump.
+
+Everything honours the process-wide telemetry switch: with
+``REPRO_TELEMETRY=0`` every collection path is a flag-check no-op and
+the batch pipelines' golden digests are untouched.
+"""
+
+from repro.telemetry.monitor.exemplars import (
+    ExemplarStore,
+    RequestExemplar,
+    record_error,
+    record_shed,
+    record_slow,
+)
+from repro.telemetry.monitor.exporters import (
+    render_prometheus,
+    sample_to_jsonl,
+    serve_monitor_http,
+)
+from repro.telemetry.monitor.service import Monitor
+from repro.telemetry.monitor.slo import (
+    Alert,
+    SLOEngine,
+    SLOSpec,
+    default_cluster_slos,
+    default_fault_slos,
+    default_server_slos,
+    load_slo_specs,
+    parse_slo,
+)
+from repro.telemetry.monitor.timeseries import (
+    DEFAULT_CAPACITY,
+    MetricSample,
+    TimeSeriesStore,
+    WindowDelta,
+)
+from repro.telemetry.monitor.top import fetch_monitor_dump, render_top
+
+__all__ = [
+    "Alert",
+    "DEFAULT_CAPACITY",
+    "ExemplarStore",
+    "MetricSample",
+    "Monitor",
+    "RequestExemplar",
+    "SLOEngine",
+    "SLOSpec",
+    "TimeSeriesStore",
+    "WindowDelta",
+    "default_cluster_slos",
+    "default_fault_slos",
+    "default_server_slos",
+    "fetch_monitor_dump",
+    "load_slo_specs",
+    "parse_slo",
+    "record_error",
+    "record_shed",
+    "record_slow",
+    "render_prometheus",
+    "render_top",
+    "sample_to_jsonl",
+    "serve_monitor_http",
+]

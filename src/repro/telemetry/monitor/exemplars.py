@@ -1,0 +1,316 @@
+"""Exemplar tracing: keep the K requests worth explaining per window.
+
+Aggregated histograms say *that* a p99 outlier exists; exemplars say
+*why*.  Every monitor window, the store keeps a bounded sample of
+notable requests — the K **slowest**, the first K **shed** at
+admission, the first K answered with an **error** — each carrying a
+per-request :class:`~repro.telemetry.spans.PhaseTrace` (queue wait vs
+batch decide time, batch size, error code), so one ring-buffer dump
+explains its own latency tail.
+
+The server's hot paths call the module-level :func:`record_slow` /
+:func:`record_shed` / :func:`record_error` hooks.  With no monitor
+attached (or telemetry disabled) the hooks are one global read and a
+flag check; attachment happens per-process via :func:`activate`, the
+same pattern as the registry's enable switch.  Recording is
+lock-protected but per-*event*, and the server only records per batch
+(slow) or per rare event (shed/error), never per request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import Iterator
+
+from repro.telemetry.registry import _STATE, counter
+from repro.telemetry.spans import PhaseTrace
+
+__all__ = [
+    "ExemplarStore",
+    "RequestExemplar",
+    "activate",
+    "active_store",
+    "deactivate",
+    "record_error",
+    "record_shed",
+    "record_slow",
+]
+
+KIND_SLOW = "slow"
+KIND_SHED = "shed"
+KIND_ERROR = "error"
+KINDS = (KIND_SLOW, KIND_SHED, KIND_ERROR)
+
+_CAPTURED = {
+    kind: counter(f"monitor.exemplars.{kind}") for kind in KINDS
+}
+
+
+class RequestExemplar:
+    """One captured request: identity, outcome, and its phase trace."""
+
+    __slots__ = (
+        "kind",
+        "kernel_uid",
+        "power_cap_w",
+        "latency_s",
+        "batch_size",
+        "error",
+        "trace",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        kernel_uid: str,
+        power_cap_w: float,
+        latency_s: float = 0.0,
+        batch_size: int = 0,
+        error: str | None = None,
+        trace: PhaseTrace | None = None,
+        seq: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.kernel_uid = kernel_uid
+        self.power_cap_w = power_cap_w
+        self.latency_s = latency_s
+        self.batch_size = batch_size
+        self.error = error
+        self.trace = trace
+        self.seq = seq
+
+    def __lt__(self, other: "RequestExemplar") -> bool:
+        # Heap ordering for the slow top-K: strictly by latency, ties
+        # by capture order so comparisons never fall through to object
+        # identity.
+        if self.latency_s != other.latency_s:
+            return self.latency_s < other.latency_s
+        return self.seq < other.seq
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "kind": self.kind,
+            "kernel_uid": self.kernel_uid,
+            "power_cap_w": self.power_cap_w,
+            "latency_s": self.latency_s,
+            "batch_size": self.batch_size,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
+
+
+class _Window:
+    """One capture window's bounded accumulators."""
+
+    __slots__ = ("slow", "shed", "error", "dropped")
+
+    def __init__(self) -> None:
+        self.slow: list[RequestExemplar] = []  # min-heap of the top-K
+        self.shed: list[RequestExemplar] = []
+        self.error: list[RequestExemplar] = []
+        self.dropped = 0
+
+    def to_dict(self, t: float | None = None) -> dict:
+        out: dict = {
+            "slow": [
+                e.to_dict()
+                for e in sorted(
+                    self.slow, key=lambda e: -e.latency_s
+                )
+            ],
+            "shed": [e.to_dict() for e in self.shed],
+            "error": [e.to_dict() for e in self.error],
+        }
+        if t is not None:
+            out["t"] = t
+        if self.dropped:
+            out["dropped"] = self.dropped
+        return out
+
+
+class ExemplarStore:
+    """Per-window bounded exemplar capture with a bounded history.
+
+    ``k_per_kind`` bounds each kind per window; ``max_windows`` bounds
+    the closed-window history; total memory is therefore
+    ``O(max_windows * 3 * k_per_kind)`` small records regardless of
+    traffic.
+    """
+
+    def __init__(
+        self, *, k_per_kind: int = 4, max_windows: int = 32
+    ) -> None:
+        if k_per_kind < 1 or max_windows < 1:
+            raise ValueError("k_per_kind and max_windows must be >= 1")
+        self.k_per_kind = k_per_kind
+        self._lock = threading.Lock()
+        self._current = _Window()
+        self._history: deque[tuple[float | None, _Window]] = deque(
+            maxlen=max_windows
+        )
+        self._seq = 0
+
+    # -- capture -------------------------------------------------------------
+
+    def record(self, exemplar: RequestExemplar) -> bool:
+        """Offer one exemplar to the current window; returns whether it
+        was kept (slow exemplars displace the fastest of the top-K)."""
+        with self._lock:
+            self._seq += 1
+            exemplar.seq = self._seq
+            window = self._current
+            if exemplar.kind == KIND_SLOW:
+                if len(window.slow) < self.k_per_kind:
+                    heapq.heappush(window.slow, exemplar)
+                elif window.slow[0].latency_s < exemplar.latency_s:
+                    heapq.heapreplace(window.slow, exemplar)
+                else:
+                    window.dropped += 1
+                    return False
+            else:
+                bucket = (
+                    window.shed
+                    if exemplar.kind == KIND_SHED
+                    else window.error
+                )
+                if len(bucket) >= self.k_per_kind:
+                    window.dropped += 1
+                    return False
+                bucket.append(exemplar)
+        _CAPTURED[exemplar.kind].inc()
+        return True
+
+    def rotate(self, t: float | None = None) -> None:
+        """Close the current window into history (monitor tick hook).
+
+        Empty windows are skipped so an idle server does not fill the
+        history with nothing.
+        """
+        with self._lock:
+            window = self._current
+            if not (window.slow or window.shed or window.error):
+                return
+            self._history.append((t, window))
+            self._current = _Window()
+
+    # -- views ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RequestExemplar]:
+        with self._lock:
+            windows = [w for _, w in self._history] + [self._current]
+            for w in windows:
+                yield from sorted(w.slow, key=lambda e: -e.latency_s)
+                yield from w.shed
+                yield from w.error
+
+    def count(self, kind: str | None = None) -> int:
+        """Captured exemplars currently retained (optionally one kind)."""
+        return sum(
+            1 for e in self if kind is None or e.kind == kind
+        )
+
+    def snapshot(self) -> dict:
+        """Deterministic dict view: history oldest-first + open window."""
+        with self._lock:
+            history = [(t, w) for t, w in self._history]
+            current = self._current
+        return {
+            "k_per_kind": self.k_per_kind,
+            "windows": [w.to_dict(t) for t, w in history],
+            "current": current.to_dict(),
+        }
+
+
+# -- process-wide attachment hooks ------------------------------------------
+
+_ACTIVE_STORE: ExemplarStore | None = None
+
+
+def activate(store: ExemplarStore) -> None:
+    """Attach a store to the process-wide capture hooks."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = store
+
+
+def deactivate(store: ExemplarStore | None = None) -> None:
+    """Detach the capture hooks (or only ``store``, if it is attached)."""
+    global _ACTIVE_STORE
+    if store is None or _ACTIVE_STORE is store:
+        _ACTIVE_STORE = None
+
+
+def active_store() -> ExemplarStore | None:
+    """The attached store, or ``None`` when detached or telemetry is
+    disabled — hot paths branch on this one read."""
+    if not _STATE.enabled:
+        return None
+    return _ACTIVE_STORE
+
+
+def record_slow(
+    kernel_uid: str,
+    power_cap_w: float,
+    latency_s: float,
+    *,
+    batch_size: int = 0,
+    trace: PhaseTrace | None = None,
+) -> None:
+    """Offer a slow-request exemplar (kept only if it makes the top-K)."""
+    store = active_store()
+    if store is None:
+        return
+    store.record(
+        RequestExemplar(
+            KIND_SLOW,
+            kernel_uid=kernel_uid,
+            power_cap_w=power_cap_w,
+            latency_s=latency_s,
+            batch_size=batch_size,
+            trace=trace,
+        )
+    )
+
+
+def record_shed(kernel_uid: str, power_cap_w: float) -> None:
+    """Record an admission shed (first K per window)."""
+    store = active_store()
+    if store is None:
+        return
+    store.record(
+        RequestExemplar(
+            KIND_SHED, kernel_uid=kernel_uid, power_cap_w=power_cap_w
+        )
+    )
+
+
+def record_error(
+    kernel_uid: str,
+    power_cap_w: float,
+    error: str,
+    *,
+    latency_s: float = 0.0,
+    batch_size: int = 0,
+    trace: PhaseTrace | None = None,
+) -> None:
+    """Record an error-result exemplar (first K per window)."""
+    store = active_store()
+    if store is None:
+        return
+    store.record(
+        RequestExemplar(
+            KIND_ERROR,
+            kernel_uid=kernel_uid,
+            power_cap_w=power_cap_w,
+            latency_s=latency_s,
+            batch_size=batch_size,
+            error=error,
+            trace=trace,
+        )
+    )

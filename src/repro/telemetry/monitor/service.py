@@ -1,0 +1,184 @@
+"""The monitor service: one object tying ring, SLOs, and exemplars.
+
+A :class:`Monitor` owns the pieces the rest of the package provides —
+a :class:`~repro.telemetry.monitor.timeseries.TimeSeriesStore` ring, an
+:class:`~repro.telemetry.monitor.slo.SLOEngine`, an
+:class:`~repro.telemetry.monitor.exemplars.ExemplarStore` — and drives
+them with one verb: :meth:`tick`.  Each tick snapshots the registry
+into the ring, evaluates every SLO against the updated ring, rotates
+the exemplar window, and optionally appends the sample as a JSON line.
+
+Ticks can be driven two ways:
+
+* **explicitly** — the cluster epoch loop calls ``monitor.tick(t=...)``
+  once per simulated epoch, so monitoring shares the simulation's
+  clock and stays deterministic;
+* **on a thread** — ``monitor.start(interval_s=0.2)`` runs ticks on a
+  daemon thread for a live ``repro serve`` process, and
+  ``monitor.serve(port)`` adds the HTTP endpoints on top.
+
+Everything is a flag-check no-op while telemetry is disabled: ``tick``
+returns ``None`` without touching the ring, and the batch pipelines
+never construct a Monitor in the first place.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.telemetry.monitor import exemplars as _exemplars
+from repro.telemetry.monitor.exemplars import ExemplarStore
+from repro.telemetry.monitor.exporters import (
+    sample_to_jsonl,
+    serve_monitor_http,
+)
+from repro.telemetry.monitor.slo import SLOEngine, SLOSpec
+from repro.telemetry.monitor.timeseries import (
+    DEFAULT_CAPACITY,
+    MetricSample,
+    TimeSeriesStore,
+)
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Continuous monitoring for a server process or epoch simulation."""
+
+    def __init__(
+        self,
+        *,
+        slos: Iterable[SLOSpec] = (),
+        capacity: int = DEFAULT_CAPACITY,
+        registry: MetricsRegistry | None = None,
+        clock=None,
+        exemplar_k: int = 4,
+        jsonl: IO[str] | str | Path | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        kwargs = {"capacity": capacity, "registry": self.registry}
+        if clock is not None:
+            kwargs["clock"] = clock
+        self.store = TimeSeriesStore(**kwargs)
+        self.slo_engine = SLOEngine(slos, self.store)
+        self.exemplars = ExemplarStore(k_per_kind=exemplar_k)
+        self._jsonl: IO[str] | None = None
+        self._owns_jsonl = False
+        if jsonl is not None:
+            if isinstance(jsonl, (str, Path)):
+                self._jsonl = open(jsonl, "a", encoding="utf-8")
+                self._owns_jsonl = True
+            else:
+                self._jsonl = jsonl
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._httpd = None
+        _exemplars.activate(self.exemplars)
+
+    # -- the tick ------------------------------------------------------------
+
+    def tick(self, t: float | None = None) -> list[dict]:
+        """One monitor pass: sample, evaluate, rotate, export.
+
+        Returns the SLO transitions this tick caused (empty while
+        telemetry is disabled — the whole tick is then a no-op).
+        """
+        sample = self.store.sample(t)
+        if sample is None:
+            return []
+        transitions = self.slo_engine.evaluate(now=sample.t)
+        self.exemplars.rotate(sample.t)
+        if self._jsonl is not None:
+            self._jsonl.write(sample_to_jsonl(sample) + "\n")
+            self._jsonl.flush()
+        return transitions
+
+    # -- background operation ------------------------------------------------
+
+    def start(self, interval_s: float = 0.2) -> None:
+        """Tick on a daemon thread every ``interval_s`` until stopped."""
+        if self._thread is not None:
+            raise RuntimeError("monitor already started")
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(interval_s):
+                self.tick()
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background tick thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def serve(self, port: int, *, host: str = "127.0.0.1") -> int:
+        """Expose /metrics, /monitor.json, /healthz; returns the bound
+        port (useful with ``port=0``)."""
+        if self._httpd is not None:
+            raise RuntimeError("monitor HTTP endpoints already serving")
+        self._httpd = serve_monitor_http(self, port, host=host)
+        return self._httpd.server_port
+
+    @property
+    def port(self) -> int | None:
+        """The HTTP port when serving, else ``None``."""
+        return self._httpd.server_port if self._httpd else None
+
+    def close(self) -> None:
+        """Stop the thread, the HTTP server, and detach the exemplar
+        hooks (idempotent; safe in ``finally``)."""
+        self.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        _exemplars.deactivate(self.exemplars)
+        if self._jsonl is not None and self._owns_jsonl:
+            self._jsonl.close()
+            self._jsonl = None
+
+    def __enter__(self) -> "Monitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- views ---------------------------------------------------------------
+
+    def registry_snapshot(self) -> dict:
+        """The live registry snapshot (the /metrics data source)."""
+        return self.registry.snapshot()
+
+    def latest(self) -> MetricSample | None:
+        return self.store.latest()
+
+    def dump(self) -> dict:
+        """The full monitor state: ring + alerts + exemplars."""
+        return {
+            "timeseries": self.store.dump(),
+            "slo": self.slo_engine.dump(),
+            "exemplars": self.exemplars.snapshot(),
+        }
+
+    def write_dump(self, path: str | Path) -> Path:
+        """Write :meth:`dump` as JSON; returns the path."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(self.dump(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return out

@@ -1,0 +1,302 @@
+"""The ring buffer under the continuous monitor: metric time series.
+
+PR 3's registry answers "what happened since the process started";
+a *continuously running* decision server or cluster epoch loop needs
+"what is happening **now**".  :class:`TimeSeriesStore` bridges the two:
+on every tick (an injected clock — nothing here reads the wall clock on
+its own, so tests and epoch simulations drive time explicitly) it takes
+one full registry snapshot and appends it to a bounded ring.  All
+derived signals — counter rates, histogram window percentiles, gauge
+values — are computed *from the ring*, never from extra hot-path
+instrumentation, so monitoring adds zero cost to the code being
+monitored beyond the per-interval snapshot.
+
+Counter semantics follow Prometheus ``increase``: counters are
+cumulative and may reset to zero (``MetricsRegistry.reset``), so window
+deltas are accumulated per adjacent sample pair, treating a decrease as
+a restart (the later sample's cumulative value *is* that pair's
+increase).  Histogram windows difference the cumulative bucket counts
+the same way, which is what lets the SLO engine compute a p99 over
+"the last 5 seconds" from two ring entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.telemetry.registry import (
+    BUCKET_BOUNDS,
+    BUCKET_INDEX,
+    MetricsRegistry,
+    _STATE,
+    estimate_percentiles,
+    get_registry,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "MetricSample",
+    "TimeSeriesStore",
+    "WindowDelta",
+]
+
+#: Default ring capacity: ten minutes of one-second samples, or two
+#: minutes at the serve CLI's 200 ms default interval.
+DEFAULT_CAPACITY = 600
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One ring entry: a timestamped full registry snapshot."""
+
+    index: int
+    t: float
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, dict]
+
+    def to_dict(self) -> dict:
+        """Deterministic dict view (snapshot maps are already sorted)."""
+        return {
+            "index": self.index,
+            "t": self.t,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """A histogram's increase over a ring window."""
+
+    count: int
+    sum: float
+    buckets: tuple[int, ...]  # dense, bucket order (incl. overflow)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def _bucket_vector(summary: Mapping) -> list[int]:
+    """Dense per-bucket counts from a sparse snapshot summary."""
+    dense = [0] * (len(BUCKET_BOUNDS) + 1)
+    for label, n in summary.get("buckets", {}).items():
+        i = BUCKET_INDEX.get(label)
+        if i is not None:
+            dense[i] = int(n)
+    return dense
+
+
+class TimeSeriesStore:
+    """Bounded ring of registry snapshots with rate/percentile views.
+
+    Parameters
+    ----------
+    capacity:
+        Ring length; the oldest sample falls off when full (memory is
+        bounded by ``capacity`` x registry size).
+    registry:
+        Registry to snapshot (default: the process-wide one).
+    clock:
+        Injected time source (default ``time.monotonic``).  Hot paths
+        never call it — only :meth:`sample` does, once per tick, and an
+        explicit ``t=`` wins over the clock entirely.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._ring: deque[MetricSample] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def sample(self, t: float | None = None) -> MetricSample | None:
+        """Snapshot the registry into the ring; returns the new sample.
+
+        A flag-check no-op returning ``None`` while telemetry is
+        disabled, like every other collection path.
+        """
+        if not _STATE.enabled:
+            return None
+        snap = self._registry.snapshot()
+        with self._lock:
+            entry = MetricSample(
+                index=self._next_index,
+                t=float(self._clock() if t is None else t),
+                counters=snap["counters"],
+                gauges=snap["gauges"],
+                histograms=snap["histograms"],
+            )
+            self._next_index += 1
+            self._ring.append(entry)
+        return entry
+
+    def append(self, entry: MetricSample) -> None:
+        """Append a pre-built sample (dump reconstruction path)."""
+        with self._lock:
+            self._ring.append(entry)
+            self._next_index = entry.index + 1
+
+    # -- window selection ----------------------------------------------------
+
+    def samples(
+        self, window_s: float | None = None, now: float | None = None
+    ) -> list[MetricSample]:
+        """Ring entries within the trailing window (oldest first).
+
+        ``window_s=None`` returns the whole ring.  ``now`` defaults to
+        the newest sample's timestamp, so windows are judged on the
+        ring's own clock, not the caller's.
+        """
+        with self._lock:
+            entries = list(self._ring)
+        if not entries or window_s is None:
+            return entries
+        cutoff = (entries[-1].t if now is None else now) - window_s
+        return [e for e in entries if e.t >= cutoff]
+
+    def latest(self) -> MetricSample | None:
+        """The newest ring entry, if any."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    # -- derived signals -----------------------------------------------------
+
+    def counter_increase(
+        self, name: str, window_s: float | None = None
+    ) -> int | None:
+        """Reset-aware counter increase over the window.
+
+        Accumulates per-pair deltas; a decrease between adjacent
+        samples means the counter restarted, and the later cumulative
+        value is that pair's increase (Prometheus ``increase``
+        semantics).  ``None`` with fewer than two samples in window.
+        """
+        entries = self.samples(window_s)
+        if len(entries) < 2:
+            return None
+        total = 0
+        prev = entries[0].counters.get(name, 0)
+        for entry in entries[1:]:
+            cur = entry.counters.get(name, 0)
+            total += cur - prev if cur >= prev else cur
+            prev = cur
+        return total
+
+    def counter_rate(
+        self, name: str, window_s: float | None = None
+    ) -> float | None:
+        """Reset-aware counter rate (increase / window span) per second."""
+        entries = self.samples(window_s)
+        if len(entries) < 2:
+            return None
+        span = entries[-1].t - entries[0].t
+        if span <= 0:
+            return None
+        increase = self.counter_increase(name, window_s)
+        return None if increase is None else increase / span
+
+    def gauge_value(self, name: str) -> float | None:
+        """The gauge's value at the newest sample."""
+        last = self.latest()
+        if last is None:
+            return None
+        return last.gauges.get(name)
+
+    def histogram_window(
+        self, name: str, window_s: float | None = None
+    ) -> WindowDelta | None:
+        """The histogram's increase (count, sum, buckets) over the
+        window, reset-aware per adjacent pair like counters."""
+        entries = self.samples(window_s)
+        if len(entries) < 2:
+            return None
+        d_count, d_sum = 0, 0.0
+        d_buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        prev = entries[0].histograms.get(name)
+        for entry in entries[1:]:
+            cur = entry.histograms.get(name)
+            if cur is not None:
+                cur_count = cur.get("count", 0)
+                prev_count = prev.get("count", 0) if prev is not None else 0
+                if prev is None or cur_count < prev_count:
+                    # Restart: the later cumulative state is the increase.
+                    d_count += cur_count
+                    d_sum += cur.get("sum", 0.0)
+                    for i, n in enumerate(_bucket_vector(cur)):
+                        d_buckets[i] += n
+                elif cur_count > prev_count:
+                    d_count += cur_count - prev_count
+                    d_sum += cur.get("sum", 0.0) - prev.get("sum", 0.0)
+                    prev_vec = _bucket_vector(prev)
+                    for i, n in enumerate(_bucket_vector(cur)):
+                        d_buckets[i] += max(0, n - prev_vec[i])
+            prev = cur
+        return WindowDelta(
+            count=d_count, sum=d_sum, buckets=tuple(d_buckets)
+        )
+
+    def percentile(
+        self,
+        name: str,
+        q: float,
+        window_s: float | None = None,
+    ) -> float | None:
+        """Interpolated percentile of a histogram over the window
+        (``None`` when the window holds no new observations)."""
+        delta = self.histogram_window(name, window_s)
+        if delta is None or delta.count == 0:
+            return None
+        return estimate_percentiles(delta.buckets, (q,))[0]
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self) -> dict:
+        """Deterministic dict view of the whole ring."""
+        with self._lock:
+            entries = list(self._ring)
+        return {
+            "capacity": self.capacity,
+            "next_index": self._next_index,
+            "samples": [e.to_dict() for e in entries],
+        }
+
+    @classmethod
+    def from_dump(cls, data: Mapping) -> "TimeSeriesStore":
+        """Rebuild a read-only store from :meth:`dump` output (used by
+        ``repro top`` to derive rates from a scraped ring)."""
+        store = cls(capacity=max(2, int(data.get("capacity", 2))))
+        for entry in data.get("samples", ()):
+            store.append(
+                MetricSample(
+                    index=int(entry.get("index", 0)),
+                    t=float(entry["t"]),
+                    counters=dict(entry.get("counters", {})),
+                    gauges=dict(entry.get("gauges", {})),
+                    histograms={
+                        k: dict(v)
+                        for k, v in entry.get("histograms", {}).items()
+                    },
+                )
+            )
+        return store

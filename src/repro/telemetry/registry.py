@@ -34,11 +34,15 @@ import time
 from typing import Iterator
 
 __all__ = [
+    "BUCKET_BOUNDS",
+    "BUCKET_LABELS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_label",
     "counter",
+    "estimate_percentiles",
     "gauge",
     "histogram",
     "get_registry",
@@ -94,10 +98,16 @@ class Counter:
         with self._lock:
             self._value += n
 
-    def reset(self) -> None:
-        """Zero the count."""
+    def reset(self) -> int:
+        """Zero the count atomically; returns the drained value.
+
+        An ``inc`` racing the reset lands entirely before (drained) or
+        entirely after (retained) the swap — increments are never lost.
+        """
         with self._lock:
+            drained = self._value
             self._value = 0
+        return drained
 
     @property
     def value(self) -> int:
@@ -124,10 +134,12 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
-    def reset(self) -> None:
-        """Zero the value."""
+    def reset(self) -> float:
+        """Zero the value atomically; returns the drained value."""
         with self._lock:
+            drained = self._value
             self._value = 0.0
+        return drained
 
     @property
     def value(self) -> float:
@@ -139,9 +151,99 @@ class Gauge:
 
 #: Histogram bucket boundaries: half-decade log scale covering
 #: microseconds to hours — wide enough for any pipeline phase.
-_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
     10.0 ** (e / 2.0) for e in range(-12, 9)
 )
+_BUCKET_BOUNDS = BUCKET_BOUNDS  # backwards-compatible private alias
+
+#: Ratio between adjacent bucket bounds (half a decade); also the
+#: assumed span of the open-ended first and last buckets.
+_BUCKET_RATIO: float = 10.0 ** 0.5
+
+
+def bucket_label(i: int) -> str:
+    """The snapshot key of bucket ``i`` (``"inf"`` for the overflow)."""
+    if i < len(BUCKET_BOUNDS):
+        return f"le_{BUCKET_BOUNDS[i]:.3e}"
+    return "inf"
+
+
+#: Snapshot key per bucket index, in bucket order.
+BUCKET_LABELS: tuple[str, ...] = tuple(
+    bucket_label(i) for i in range(len(BUCKET_BOUNDS) + 1)
+)
+
+#: Reverse map: snapshot key -> bucket index.
+BUCKET_INDEX: dict[str, int] = {
+    label: i for i, label in enumerate(BUCKET_LABELS)
+}
+
+
+def estimate_percentiles(
+    bucket_counts,
+    qs,
+    *,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> list[float]:
+    """Interpolated percentiles from log-bucket counts.
+
+    ``bucket_counts`` is a dense per-bucket count sequence of length
+    ``len(BUCKET_BOUNDS) + 1`` (the trailing slot is the overflow
+    bucket).  Within the bucket holding the target rank the estimate
+    interpolates *geometrically* (the buckets are log-spaced, so the
+    geometric midpoint is the unbiased guess); ``lo``/``hi`` — when the
+    caller knows the observed min/max — clamp the result and bound the
+    open-ended first/last buckets.  Returns ``nan`` per requested
+    percentile when the counts are all zero.
+    """
+    total = sum(bucket_counts)
+    out: list[float] = []
+    for q in qs:
+        if total <= 0:
+            out.append(math.nan)
+            continue
+        target = max(1.0, (q / 100.0) * total)
+        cum = 0
+        i = len(bucket_counts) - 1
+        frac = 1.0
+        for j, n in enumerate(bucket_counts):
+            if n and cum + n >= target:
+                i, frac = j, (target - cum) / n
+                break
+            cum += n
+        if i == 0:
+            upper = BUCKET_BOUNDS[0]
+            lower = upper / _BUCKET_RATIO
+            if lo is not None and 0 < lo < upper:
+                lower = lo
+        elif i < len(BUCKET_BOUNDS):
+            lower, upper = BUCKET_BOUNDS[i - 1], BUCKET_BOUNDS[i]
+        else:
+            lower = BUCKET_BOUNDS[-1]
+            upper = hi if hi is not None and hi > lower else (
+                lower * _BUCKET_RATIO
+            )
+        value = lower * (upper / lower) ** frac
+        if lo is not None:
+            value = max(value, lo)
+        if hi is not None:
+            value = min(value, hi)
+        out.append(value)
+    return out
+
+
+class _HistState:
+    """One atomically-swappable bundle of histogram accumulators."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
 
 class Histogram:
@@ -153,15 +255,11 @@ class Histogram:
     elapsed seconds of its block.
     """
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_buckets", "_lock")
+    __slots__ = ("name", "_state", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-        self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._state = _HistState()
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -170,18 +268,19 @@ class Histogram:
             return
         value = float(value)
         i = 0
-        for bound in _BUCKET_BOUNDS:
+        for bound in BUCKET_BOUNDS:
             if value <= bound:
                 break
             i += 1
         with self._lock:
-            self._count += 1
-            self._sum += value
-            if value < self._min:
-                self._min = value
-            if value > self._max:
-                self._max = value
-            self._buckets[i] += 1
+            st = self._state
+            st.count += 1
+            st.sum += value
+            if value < st.min:
+                st.min = value
+            if value > st.max:
+                st.max = value
+            st.buckets[i] += 1
 
     class _Timer:
         __slots__ = ("_hist", "_t0")
@@ -201,43 +300,63 @@ class Histogram:
         """Context manager observing the elapsed seconds of its block."""
         return Histogram._Timer(self)
 
-    def reset(self) -> None:
-        """Drop the streamed distribution."""
+    def reset(self) -> dict:
+        """Drop the streamed distribution via an atomic state swap.
+
+        The whole accumulator bundle (count, sum, min/max, buckets) is
+        replaced by one reference assignment under the update lock, so
+        a concurrent ``observe`` lands entirely in the old state
+        (returned) or entirely in the new one — bucket increments can
+        never be split across the reset or dropped.  Returns the
+        drained distribution as a :meth:`summary`-shaped dict.
+        """
         with self._lock:
-            self._count = 0
-            self._sum = 0.0
-            self._min = math.inf
-            self._max = -math.inf
-            self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+            drained = self._state
+            self._state = _HistState()
+        return self._summarize(drained)
 
     @property
     def count(self) -> int:
-        return self._count
+        return self._state.count
 
-    def summary(self) -> dict:
-        """Deterministic dict view of the streamed distribution."""
-        with self._lock:
-            count, total = self._count, self._sum
-            lo, hi = self._min, self._max
-            buckets = list(self._buckets)
+    @staticmethod
+    def _summarize(st: _HistState) -> dict:
         out = {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else 0.0,
-            "min": lo if count else 0.0,
-            "max": hi if count else 0.0,
+            "count": st.count,
+            "sum": st.sum,
+            "mean": st.sum / st.count if st.count else 0.0,
+            "min": st.min if st.count else 0.0,
+            "max": st.max if st.count else 0.0,
         }
+        if st.count:
+            p50, p90, p99 = estimate_percentiles(
+                st.buckets,
+                (50.0, 90.0, 99.0),
+                lo=st.min,
+                hi=st.max,
+            )
+            out["p50"], out["p90"], out["p99"] = p50, p90, p99
         nonzero = {
-            f"le_{_BUCKET_BOUNDS[i]:.3e}" if i < len(_BUCKET_BOUNDS) else "inf": n
-            for i, n in enumerate(buckets)
-            if n
+            BUCKET_LABELS[i]: n for i, n in enumerate(st.buckets) if n
         }
         if nonzero:
             out["buckets"] = nonzero
         return out
 
+    def summary(self) -> dict:
+        """Deterministic dict view of the streamed distribution,
+        including interpolated ``p50``/``p90``/``p99`` estimates (see
+        :func:`estimate_percentiles`) once observations exist."""
+        with self._lock:
+            st = self._state
+            copy = _HistState()
+            copy.count, copy.sum = st.count, st.sum
+            copy.min, copy.max = st.min, st.max
+            copy.buckets = list(st.buckets)
+        return self._summarize(copy)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Histogram {self.name} n={self._count}>"
+        return f"<Histogram {self.name} n={self._state.count}>"
 
 
 class MetricsRegistry:
@@ -296,33 +415,56 @@ class MetricsRegistry:
 
         Instruments appear sorted by name, so equal states serialize to
         equal JSON — the determinism ``telemetry.json`` consumers (CI
-        assertions, diffing tools) rely on.
+        assertions, diffing tools) rely on.  Values are collected while
+        holding the registry lock, so a snapshot racing :meth:`reset`
+        sees the registry entirely before or entirely after the reset,
+        never a torn mixture.
         """
         with self._lock:
-            counters = sorted(self._counters.items())
-            gauges = sorted(self._gauges.items())
-            histograms = sorted(self._histograms.items())
-        return {
-            "counters": {name: c.value for name, c in counters},
-            "gauges": {name: g.value for name, g in gauges},
-            "histograms": {name: h.summary() for name, h in histograms},
-        }
+            return {
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
 
-    def reset(self) -> None:
-        """Zero every instrument *in place* (test isolation hook).
+    def reset(self) -> dict:
+        """Zero every instrument (test isolation hook); returns the
+        drained state as a :meth:`snapshot`-shaped dict.
 
         Instruments stay registered: hot paths hold module-level
         references fetched at import time, and dropping the registry's
         entries would orphan those references — they would keep counting
-        into objects no snapshot ever reports.
+        into objects no snapshot ever reports.  Each instrument drains
+        via an atomic state swap under its own update lock, and the
+        whole sweep runs under the registry lock, so updates racing the
+        reset land entirely in the drained state or entirely in the
+        fresh one (never lost), and concurrent snapshots are never
+        torn.
         """
         with self._lock:
-            for c in self._counters.values():
-                c.reset()
-            for g in self._gauges.values():
-                g.reset()
-            for h in self._histograms.values():
-                h.reset()
+            return {
+                "counters": {
+                    name: c.reset()
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.reset()
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.reset()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
 
 
 _REGISTRY = MetricsRegistry()

@@ -32,6 +32,8 @@ __all__ = [
     "write_telemetry",
     "load_telemetry",
     "render_telemetry",
+    "diff_telemetry",
+    "render_telemetry_diff",
 ]
 
 TELEMETRY_VERSION: int = 1
@@ -120,8 +122,119 @@ def render_telemetry(data: dict) -> str:
         rows.append("Histograms:")
         for name in sorted(histograms):
             h = histograms[name]
-            rows.append(
+            line = (
                 f"  {name}: n={h['count']} mean={h['mean']:.4g} "
                 f"min={h['min']:.4g} max={h['max']:.4g} sum={h['sum']:.4g}"
             )
+            # Interpolated percentiles (absent in pre-monitor reports
+            # and for empty histograms).
+            if "p50" in h:
+                line += (
+                    f" p50={h['p50']:.4g} p90={h['p90']:.4g} "
+                    f"p99={h['p99']:.4g}"
+                )
+            rows.append(line)
+    return "\n".join(rows)
+
+
+def diff_telemetry(a: dict, b: dict) -> dict:
+    """Structured comparison of two telemetry snapshots (A -> B).
+
+    Counters and gauges report ``(a, b, delta)`` for every name present
+    in either snapshot; histograms report count/mean and percentile
+    shift.  Useful for before/after runs: ``repro telemetry --diff
+    base.json contender.json``.
+    """
+    ma, mb = a.get("metrics", {}), b.get("metrics", {})
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind in ("counters", "gauges"):
+        xa, xb = ma.get(kind, {}), mb.get(kind, {})
+        for name in sorted(set(xa) | set(xb)):
+            va, vb = xa.get(name, 0), xb.get(name, 0)
+            out[kind][name] = {"a": va, "b": vb, "delta": vb - va}
+    ha, hb = ma.get("histograms", {}), mb.get("histograms", {})
+    for name in sorted(set(ha) | set(hb)):
+        sa, sb = ha.get(name, {}), hb.get(name, {})
+        entry: dict = {
+            "count": {
+                "a": sa.get("count", 0),
+                "b": sb.get("count", 0),
+            },
+            "mean": {
+                "a": sa.get("mean", 0.0),
+                "b": sb.get("mean", 0.0),
+            },
+        }
+        for q in ("p50", "p90", "p99"):
+            if q in sa or q in sb:
+                entry[q] = {"a": sa.get(q), "b": sb.get(q)}
+        out["histograms"][name] = entry
+    return out
+
+
+def _fmt_shift(va, vb) -> str:
+    if va is None or vb is None:
+        return f"{va if va is not None else '--'} -> " \
+               f"{vb if vb is not None else '--'}"
+    shift = ""
+    if va:
+        shift = f"  ({(vb - va) / va * 100.0:+.1f}%)"
+    return f"{va:.4g} -> {vb:.4g}{shift}"
+
+
+def render_telemetry_diff(diff: dict, *, all_rows: bool = False) -> str:
+    """Human-readable rendering of :func:`diff_telemetry` output.
+
+    By default only changed rows are shown; ``all_rows`` includes the
+    unchanged ones too.
+    """
+    rows: list[str] = ["Telemetry diff (A -> B)"]
+
+    counters = diff.get("counters", {})
+    shown = {
+        n: d for n, d in counters.items() if all_rows or d["delta"]
+    }
+    rows.append("")
+    rows.append(f"Counters ({len(shown)} changed of {len(counters)}):")
+    if shown:
+        width = max(len(n) for n in shown)
+        for name, d in shown.items():
+            rows.append(
+                f"  {name:<{width}}  {d['a']} -> {d['b']}"
+                f"  ({d['delta']:+})"
+            )
+    else:
+        rows.append("  (no change)")
+
+    gauges = diff.get("gauges", {})
+    shown = {n: d for n, d in gauges.items() if all_rows or d["delta"]}
+    if shown:
+        rows.append("")
+        rows.append("Gauges:")
+        width = max(len(n) for n in shown)
+        for name, d in shown.items():
+            rows.append(
+                f"  {name:<{width}}  {d['a']:g} -> {d['b']:g}"
+                f"  ({d['delta']:+g})"
+            )
+
+    histograms = diff.get("histograms", {})
+    shown = {
+        n: d
+        for n, d in histograms.items()
+        if all_rows or d["count"]["a"] != d["count"]["b"]
+    }
+    if shown:
+        rows.append("")
+        rows.append("Histograms:")
+        for name, d in shown.items():
+            rows.append(
+                f"  {name}: n {d['count']['a']} -> {d['count']['b']}, "
+                f"mean {_fmt_shift(d['mean']['a'], d['mean']['b'])}"
+            )
+            for q in ("p50", "p90", "p99"):
+                if q in d:
+                    rows.append(
+                        f"    {q}: {_fmt_shift(d[q]['a'], d[q]['b'])}"
+                    )
     return "\n".join(rows)

@@ -36,7 +36,13 @@ import time
 
 from repro.telemetry.registry import _STATE
 
-__all__ = ["SpanNode", "Tracer", "get_tracer", "trace_span"]
+__all__ = [
+    "PhaseTrace",
+    "SpanNode",
+    "Tracer",
+    "get_tracer",
+    "trace_span",
+]
 
 
 class SpanNode:
@@ -73,6 +79,52 @@ class SpanNode:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<SpanNode {self.name} {self.count}x {self.total_s:.3f}s>"
+
+
+class PhaseTrace:
+    """A bounded, *non-aggregated* per-request trace (exemplar path).
+
+    :class:`SpanNode` aggregates by design — sixteen folds become one
+    node — which is exactly wrong for explaining a single p99 outlier.
+    A ``PhaseTrace`` is the complementary capture path: an ordered,
+    bounded list of ``(name, start_s, duration_s)`` phases for *one*
+    request, with offsets relative to the request's own origin.  The
+    monitor's exemplar store (:mod:`repro.telemetry.monitor.exemplars`)
+    attaches one to each sampled slow/shed/error request so the trace
+    rides along in ``monitor.json`` dumps and HTTP exports.
+
+    Phases past ``max_phases`` are dropped and counted in ``truncated``
+    so a runaway producer cannot grow an exemplar without bound.
+    """
+
+    __slots__ = ("phases", "max_phases", "truncated")
+
+    def __init__(self, max_phases: int = 16) -> None:
+        self.phases: list[tuple[str, float, float]] = []
+        self.max_phases = max_phases
+        self.truncated = 0
+
+    def add(self, name: str, start_s: float, duration_s: float) -> None:
+        """Append one timed phase (dropped once ``max_phases`` is hit)."""
+        if len(self.phases) >= self.max_phases:
+            self.truncated += 1
+            return
+        self.phases.append((name, float(start_s), float(duration_s)))
+
+    def to_dict(self) -> dict:
+        """Deterministic dict view (phases in capture order)."""
+        out: dict = {
+            "phases": [
+                {"name": n, "start_s": s, "duration_s": d}
+                for n, s, d in self.phases
+            ]
+        }
+        if self.truncated:
+            out["truncated"] = self.truncated
+        return out
+
+    def __len__(self) -> int:
+        return len(self.phases)
 
 
 class _NoopSpan:

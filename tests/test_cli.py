@@ -154,6 +154,61 @@ class TestTelemetryCommand:
         assert main(["telemetry", str(tmp_path / "nope.json")]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_diff_compares_two_reports(self, tmp_path, capsys):
+        import repro.telemetry as telemetry
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        telemetry.counter("cli.diff.c").inc(3)
+        telemetry.write_telemetry(a)
+        telemetry.counter("cli.diff.c").inc(4)
+        telemetry.write_telemetry(b)
+        assert main(["telemetry", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry diff" in out
+        assert "cli.diff.c" in out
+        assert "3 -> 7" in out
+
+    def test_path_and_diff_are_mutually_exclusive(self, tmp_path, capsys):
+        assert main(["telemetry"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_renders_saved_monitor_dump(self, tmp_path, capsys):
+        import repro.telemetry as telemetry
+        from repro.telemetry.monitor import Monitor
+
+        clock_t = [0.0]
+        telemetry.counter("cli.top.c")
+        mon = Monitor(clock=lambda: clock_t[0])
+        try:
+            for _ in range(3):
+                telemetry.counter("cli.top.c").inc(10)
+                clock_t[0] += 1.0
+                mon.tick()
+            dump_path = mon.write_dump(tmp_path / "mon.json")
+        finally:
+            mon.close()
+        assert main(["top", "--dump", str(dump_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro monitor" in out
+        assert "cli.top.c" in out
+
+    def test_scrape_unreachable_target_fails_cleanly(self, capsys):
+        assert main(["top", "127.0.0.1:1"]) == 2
+        assert "cannot scrape" in capsys.readouterr().err
+
+    def test_cluster_demo_fires_and_clears_over_budget(self, capsys):
+        assert main(["top", "--cluster", "--epochs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-over-budget" in out
+        assert "fired=1, cleared=1" in out
+        assert "budget compliance" in out
+
+    def test_cluster_demo_rejects_short_runs(self, capsys):
+        assert main(["top", "--cluster", "--epochs", "3"]) == 2
+        assert "epochs" in capsys.readouterr().err
+
 
 class TestRuntimeCommand:
     def test_runtime_prints_timeline(self, capsys):

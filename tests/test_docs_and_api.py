@@ -142,8 +142,11 @@ class TestDocIntegrity:
         missing = []
         for ref in self._referenced_paths(text):
             if ref.startswith(("model.json", "m.json", "artifacts",
-                               "telemetry.json")):
+                               "telemetry.json", "monitor.json",
+                               "slos.json", "before.json", "after.json")):
                 continue  # illustrative output paths, not repo files
+            if ref.startswith("/"):
+                continue  # HTTP endpoint paths (e.g. `/monitor.json`)
             candidates = [
                 REPO / ref,
                 doc_path.parent / ref,

@@ -94,6 +94,87 @@ class TestRegistry:
         g.set(7.5)
         assert g.value == 7.5
 
+    def test_reset_hammer_no_lost_or_torn_observations(self):
+        """Registry reset racing concurrent histogram updates: every
+        observation lands in exactly one epoch (a drained reset summary
+        or the final state), and no snapshot is ever torn."""
+        h = histogram("t.hammer")
+        c = counter("t.hammer.c")
+        n_threads, n_obs = 4, 2000
+        stop = threading.Event()
+        drained_hist = 0
+        drained_cnt = 0
+
+        def writer():
+            for _ in range(n_obs):
+                h.observe(0.001)
+                c.inc()
+
+        def resetter():
+            nonlocal drained_hist, drained_cnt
+            while not stop.is_set():
+                out = get_registry().reset()
+                drained_hist += out["histograms"]["t.hammer"]["count"]
+                drained_cnt += out["counters"]["t.hammer.c"]
+
+        threads = [
+            threading.Thread(target=writer) for _ in range(n_threads)
+        ]
+        hammer = threading.Thread(target=resetter)
+        hammer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        hammer.join()
+        final = get_registry().snapshot()
+        total_h = drained_hist + final["histograms"]["t.hammer"]["count"]
+        total_c = drained_cnt + final["counters"]["t.hammer.c"]
+        assert total_h == n_threads * n_obs
+        assert total_c == n_threads * n_obs
+
+    def test_histogram_reset_swaps_state_atomically(self):
+        """reset() returns the drained summary; the instrument object
+        survives and starts from zero."""
+        h = histogram("t.swap")
+        for _ in range(5):
+            h.observe(0.01)
+        drained = h.reset()
+        assert drained["count"] == 5
+        assert h.count == 0
+        h.observe(0.02)
+        assert h.summary()["count"] == 1
+
+    def test_snapshot_never_torn_by_concurrent_reset(self):
+        """A snapshot taken during reset hammering reflects a single
+        consistent epoch: histogram count and bucket sum always agree."""
+        h = histogram("t.torn")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                h.observe(0.001)
+
+        def resetter():
+            while not stop.is_set():
+                get_registry().reset()
+
+        workers = [
+            threading.Thread(target=writer),
+            threading.Thread(target=resetter),
+        ]
+        for t in workers:
+            t.start()
+        try:
+            for _ in range(300):
+                s = get_registry().snapshot()["histograms"]["t.torn"]
+                assert sum(s.get("buckets", {}).values()) == s["count"]
+        finally:
+            stop.set()
+            for t in workers:
+                t.join()
+
     def test_histogram_summary(self):
         h = histogram("t.hist")
         for v in (0.001, 0.01, 0.1, 1.0):
@@ -395,3 +476,53 @@ class TestReport:
     def test_render_empty(self):
         text = render_telemetry(telemetry_snapshot())
         assert "(no spans recorded)" in text
+
+    def test_render_includes_percentiles(self):
+        h = histogram("t.pct")
+        for v in (0.001, 0.002, 0.004, 0.2):
+            h.observe(v)
+        text = render_telemetry(telemetry_snapshot())
+        assert "p50=" in text and "p99=" in text
+
+
+class TestDiff:
+    def snapshot_pair(self):
+        from repro.telemetry import diff_telemetry
+
+        counter("t.d.reqs").inc(10)
+        histogram("t.d.lat").observe(0.001)
+        a = json.loads(json.dumps(telemetry_snapshot()))
+        counter("t.d.reqs").inc(5)
+        counter("t.d.new").inc(2)
+        gauge("t.d.depth").set(3.0)
+        for _ in range(10):
+            histogram("t.d.lat").observe(0.1)
+        b = json.loads(json.dumps(telemetry_snapshot()))
+        return diff_telemetry(a, b)
+
+    def test_counter_deltas_and_new_names(self):
+        d = self.snapshot_pair()
+        assert d["counters"]["t.d.reqs"] == {
+            "a": 10, "b": 15, "delta": 5,
+        }
+        # Present only in B: treated as starting from zero.
+        assert d["counters"]["t.d.new"]["delta"] == 2
+        assert d["gauges"]["t.d.depth"]["delta"] == 3.0
+
+    def test_histogram_shift(self):
+        d = self.snapshot_pair()
+        lat = d["histograms"]["t.d.lat"]
+        assert lat["count"] == {"a": 1, "b": 11}
+        assert lat["mean"]["b"] > lat["mean"]["a"]
+        assert lat["p99"]["b"] > lat["p99"]["a"]
+
+    def test_render_diff(self):
+        from repro.telemetry import render_telemetry_diff
+
+        text = render_telemetry_diff(self.snapshot_pair())
+        assert "t.d.reqs" in text
+        assert "10 -> 15" in text
+        assert "(+5)" in text
+        assert "t.d.lat" in text
+        # Unchanged rows are hidden by default.
+        assert "slo.evaluations" not in text
