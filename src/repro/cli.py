@@ -8,6 +8,7 @@ Gives the paper's workflow a shell-level surface::
     repro predict -m model.json LU/Small/LUDecomposition --cap 20
     repro evaluate --seed 0              # Table III end to end
     repro eval --telemetry-out t.json    # ... plus the telemetry report
+    repro search --space demo            # DSE over a 1.18M-point space
     repro serve --rate 20000             # the concurrent decision server
     repro serve --monitor-port 9109      # ... with live /metrics + SLO alerts
     repro bench-serve                    # offered-load admission benchmark
@@ -246,6 +247,66 @@ def build_parser() -> argparse.ArgumentParser:
         "BudgetTree instead of one flat allocation",
     )
     p_cluster.add_argument("--telemetry-out", default=None, help=telemetry_help)
+
+    p_search = sub.add_parser(
+        "search",
+        help="discover a near-Pareto frontier of a combinatorial config "
+        "space by multi-objective search (no enumeration)",
+    )
+    p_search.add_argument(
+        "--space",
+        choices=("paper", "demo"),
+        default="demo",
+        help="'paper': the 42-point Trinity space (validated against "
+        "exact enumeration); 'demo': a generated 1.18M-point space "
+        "where enumeration is infeasible (default demo)",
+    )
+    p_search.add_argument(
+        "--kernel",
+        default="LU/Small/LUDecomposition",
+        help="kernel uid to search for (default LU/Small/LUDecomposition)",
+    )
+    p_search.add_argument(
+        "--population",
+        type=int,
+        default=96,
+        help="search population size (default 96)",
+    )
+    p_search.add_argument(
+        "--generations",
+        type=int,
+        default=40,
+        help="search generation budget (default 40)",
+    )
+    p_search.add_argument(
+        "--epsilon",
+        type=float,
+        default=1e-4,
+        help="archive epsilon-dominance resolution (default 1e-4; "
+        "0 keeps the exact non-dominated set)",
+    )
+    p_search.add_argument(
+        "--baseline-budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run a random-sampling baseline with N evaluations "
+        "and report the comparison (default: off)",
+    )
+    p_search.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="evaluation parallelism (default: $REPRO_NJOBS or serial)",
+    )
+    p_search.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the discovered frontier and run summary to "
+        "this JSON path",
+    )
+    p_search.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
     batching_help = (
         "requests coalesced into one grouped sweep (default: "
@@ -978,6 +1039,127 @@ def _run_cluster_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.search import (
+        SearchConfig,
+        nsga2_search,
+        paper_space,
+        random_search,
+        validate_against_exact,
+    )
+
+    kernel = build_suite().get(args.kernel)
+    if args.space == "paper":
+        space = paper_space()
+    else:
+        from repro.search import demo_space
+
+        space = demo_space()
+    log_event(
+        _log,
+        logging.INFO,
+        "search-start",
+        space=space.name,
+        size=space.size,
+        kernel=args.kernel,
+        population=args.population,
+        generations=args.generations,
+    )
+    cfg = SearchConfig(
+        population=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        n_jobs=args.n_jobs,
+    )
+    result = nsga2_search(space, kernel, cfg)
+    archive = result.archive
+
+    print(f"space {space.name}: {space.size} points, {space.n_axes} axes")
+    print(
+        f"search: {result.evaluations} evaluations over "
+        f"{result.generations} generations in {result.elapsed_s:.2f}s "
+        f"({result.evaluations / max(result.elapsed_s, 1e-9):,.0f} eval/s)"
+    )
+    print(
+        f"archive: {len(archive)} points, power "
+        f"[{archive.min_power_w:.2f}, {float(archive.powers[-1]):.2f}] W, "
+        f"hypervolume {result.hypervolume:.4f} "
+        f"(ref {result.hypervolume_ref_w:.2f} W)"
+    )
+
+    summary: dict = {
+        "space": space.name,
+        "size": space.size,
+        "kernel": args.kernel,
+        "seed": args.seed,
+        "evaluations": result.evaluations,
+        "generations": result.generations,
+        "elapsed_s": result.elapsed_s,
+        "hypervolume": result.hypervolume,
+        "hypervolume_ref_w": result.hypervolume_ref_w,
+        "frontier": [
+            {"power_w": float(pw), "rate": float(rt)}
+            for pw, rt in zip(archive.powers, archive.performances)
+        ],
+    }
+
+    if args.space == "paper":
+        report = validate_against_exact(space, kernel, archive)
+        print(
+            f"vs exact enumeration: hypervolume ratio "
+            f"{report.hypervolume_ratio:.4f}, max per-cap rate regret "
+            f"{report.max_cap_regret:.4%} over {report.n_caps} caps"
+        )
+        summary["validation"] = {
+            "hypervolume_ratio": report.hypervolume_ratio,
+            "max_cap_regret": report.max_cap_regret,
+            "mean_cap_regret": report.mean_cap_regret,
+            "n_caps": report.n_caps,
+        }
+
+    if args.baseline_budget > 0:
+        baseline = random_search(
+            space,
+            kernel,
+            args.baseline_budget,
+            seed=args.seed,
+            epsilon=args.epsilon,
+            n_jobs=args.n_jobs,
+            hypervolume_ref_w=result.hypervolume_ref_w,
+        )
+        matched = next(
+            (e for e, hv in result.history if hv >= baseline.hypervolume),
+            None,
+        )
+        print(
+            f"random baseline: {baseline.evaluations} evaluations, "
+            f"hypervolume {baseline.hypervolume:.4f}; search matched it "
+            + (
+                f"after {matched} evaluations "
+                f"({baseline.evaluations / matched:.1f}x fewer)"
+                if matched
+                else "never"
+            )
+        )
+        summary["baseline"] = {
+            "evaluations": baseline.evaluations,
+            "hypervolume": baseline.hypervolume,
+            "search_evals_to_match": matched,
+        }
+
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            _json.dump(summary, fh, indent=2)
+        log_event(_log, logging.INFO, "search-json-written", path=args.json)
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
+    return 0
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "frontier": _cmd_frontier,
@@ -989,6 +1171,7 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "report": _cmd_report,
     "cluster": _cmd_cluster,
+    "search": _cmd_search,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "telemetry": _cmd_telemetry,

@@ -1,0 +1,159 @@
+"""Vectorized ground-truth evaluation over configuration *arrays*.
+
+The analytical kernel models (:mod:`repro.hardware.kernelmodel`,
+:mod:`repro.hardware.power`) are scalar: one ``(kernel, Configuration)``
+pair per call.  That is the right shape for the simulator's measured
+runs, and the wrong shape for design-space exploration
+(:mod:`repro.search`), where a search engine asks for the (rate, power)
+of *thousands* of candidate configurations per generation and the
+candidate set never materializes ``Configuration`` objects at all.
+
+This module is the batch path: every function takes parallel factor
+arrays (CPU frequency, thread count, GPU frequency, a device mask) and
+returns per-row results in one numpy pass.  The expressions mirror the
+scalar models operation for operation — float64 elementwise arithmetic
+is IEEE-identical to the Python-float scalar code — so batch results are
+**bit-identical** to calling the scalar functions row by row
+(``tests/test_search_space.py`` pins this against
+:meth:`~repro.hardware.apu.TrinityAPU.true_table`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import pstates
+from repro.hardware.kernelmodel import BW_CONTENTION, KernelCharacteristics
+from repro.hardware.power import PowerModelConstants
+
+__all__ = [
+    "batch_amdahl_speedup",
+    "batch_bandwidth_factor",
+    "batch_cpu_time_s",
+    "batch_gpu_time_s",
+    "batch_total_power_w",
+    "batch_true_rate_power",
+]
+
+
+def batch_amdahl_speedup(n_threads: np.ndarray, parallel_fraction: float) -> np.ndarray:
+    """Vectorized :func:`~repro.hardware.kernelmodel.amdahl_speedup`."""
+    p = parallel_fraction
+    return 1.0 / ((1.0 - p) + p / n_threads)
+
+
+def batch_bandwidth_factor(n_threads: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`~repro.hardware.kernelmodel.memory_bandwidth_factor`."""
+    return n_threads / (1.0 + BW_CONTENTION * (n_threads - 1))
+
+
+def batch_cpu_time_s(
+    k: KernelCharacteristics, cpu_freq_ghz: np.ndarray, n_threads: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`~repro.hardware.kernelmodel.cpu_time_s`."""
+    s = cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+    compute = (1.0 - k.mem_fraction) / (
+        batch_amdahl_speedup(n_threads, k.parallel_fraction) * s
+    )
+    memory = k.mem_fraction / batch_bandwidth_factor(n_threads)
+    return k.work_s * (compute + memory)
+
+
+def batch_gpu_time_s(
+    k: KernelCharacteristics,
+    gpu_freq_ghz: np.ndarray,
+    host_cpu_freq_ghz: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`~repro.hardware.kernelmodel.gpu_time_s`."""
+    fg = gpu_freq_ghz / pstates.GPU_MAX_FREQ_GHZ
+    device = (k.work_s / k.gpu_affinity) * (
+        (1.0 - k.gpu_mem_fraction) / fg + k.gpu_mem_fraction
+    )
+    launch = k.launch_overhead_s * (
+        pstates.CPU_MAX_FREQ_GHZ / host_cpu_freq_ghz
+    )
+    return device + launch
+
+
+def _batch_gpu_busy_fraction(
+    k: KernelCharacteristics, gpu_freq_ghz: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`~repro.hardware.kernelmodel.gpu_busy_fraction`."""
+    fg = gpu_freq_ghz / pstates.GPU_MAX_FREQ_GHZ
+    compute = (1.0 - k.gpu_mem_fraction) / fg
+    return compute / (compute + k.gpu_mem_fraction)
+
+
+# The voltage curves are affine; read the coefficients once so the
+# batch expressions below stay bit-identical to the scalar lookups
+# (pstates.cpu_voltage / gpu_voltage validate per value, which the
+# batch path cannot afford and does not need — genomes only ever decode
+# to axis values drawn from the P-state tables).
+_CPU_V0 = pstates._CPU_V0
+_CPU_V1 = pstates._CPU_V1
+_GPU_V0 = pstates._GPU_V0
+_GPU_V1 = pstates._GPU_V1
+
+
+def batch_total_power_w(
+    k: KernelCharacteristics,
+    is_gpu: np.ndarray,
+    cpu_freq_ghz: np.ndarray,
+    n_threads: np.ndarray,
+    gpu_freq_ghz: np.ndarray,
+    constants: PowerModelConstants | None = None,
+) -> np.ndarray:
+    """Vectorized whole-chip :func:`~repro.hardware.power.power_w`.
+
+    ``is_gpu`` is the device mask (True rows execute on the GPU).  Both
+    device branches are computed elementwise and joined with
+    :func:`numpy.where`, so each row's value equals the scalar branch it
+    would have taken.
+    """
+    c = constants if constants is not None else PowerModelConstants()
+    v = _CPU_V0 + _CPU_V1 * cpu_freq_ghz
+    static = c.cpu_static_base + c.cpu_static_v2 * v * v
+    act_cpu = k.activity * (1.0 + 0.25 * k.vector_fraction)
+    act = np.where(is_gpu, c.host_activity, act_cpu)
+    n_active = np.where(is_gpu, 1.0, n_threads)
+    cpu_plane = static + n_active * c.cpu_dyn_per_core * act * cpu_freq_ghz * v * v
+
+    traffic_cpu = batch_bandwidth_factor(n_threads) / (
+        pstates.N_CORES / (1.0 + BW_CONTENTION * (pstates.N_CORES - 1))
+    )
+    traffic = np.where(is_gpu, min(c.gpu_traffic_scale, 2.0), traffic_cpu)
+    dram = c.dram_max_w * k.dram_intensity * traffic
+
+    vg = _GPU_V0 + _GPU_V1 * gpu_freq_ghz
+    gpu_static = c.gpu_static_base + c.gpu_static_v2 * vg * vg
+    busy = _batch_gpu_busy_fraction(k, gpu_freq_ghz)
+    gpu_dynamic = c.gpu_dyn * k.gpu_activity * gpu_freq_ghz * vg * vg * busy
+    gpu = np.where(is_gpu, gpu_static + gpu_dynamic, c.gpu_idle_w)
+
+    nbgpu = c.nb_static + dram + gpu
+    return cpu_plane + nbgpu
+
+
+def batch_true_rate_power(
+    k: KernelCharacteristics,
+    is_gpu: np.ndarray,
+    cpu_freq_ghz: np.ndarray,
+    n_threads: np.ndarray,
+    gpu_freq_ghz: np.ndarray,
+    constants: PowerModelConstants | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ground-truth ``(rate, total power)`` per row, in one numpy pass.
+
+    Equivalent to calling :meth:`TrinityAPU.true_performance` and
+    :meth:`TrinityAPU.true_total_power_w` per row (boost off), but
+    without materializing any :class:`Configuration`.
+    """
+    t = np.where(
+        is_gpu,
+        batch_gpu_time_s(k, gpu_freq_ghz, cpu_freq_ghz),
+        batch_cpu_time_s(k, cpu_freq_ghz, n_threads),
+    )
+    power = batch_total_power_w(
+        k, is_gpu, cpu_freq_ghz, n_threads, gpu_freq_ghz, constants
+    )
+    return 1.0 / t, power

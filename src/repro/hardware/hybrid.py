@@ -37,6 +37,7 @@ from repro.hardware.kernelmodel import (
     gpu_time_s,
 )
 from repro.hardware.power import PowerModelConstants, power_w
+from repro.telemetry import counter, gauge
 
 __all__ = [
     "HybridPoint",
@@ -44,6 +45,16 @@ __all__ = [
     "enumerate_hybrid_points",
     "best_hybrid_under_cap",
 ]
+
+# Process-wide hybrid-enumeration memo.  The 72-point cross product is a
+# pure function of (characteristics, efficiency, power constants), and
+# the hybrid-analysis benchmark plus the search-validation reruns
+# re-enumerate identical tables constantly — same memo family as the
+# truth-table caches of PR 2 (see docs/OBSERVABILITY.md).
+_POINTS_CACHE: dict[tuple, tuple[HybridPoint, ...]] = {}
+_HP_HITS = counter("cache.hybrid_points.hits")
+_HP_MISSES = counter("cache.hybrid_points.misses")
+_HP_SIZE = gauge("cache.hybrid_points.size")
 
 
 @dataclass(frozen=True)
@@ -149,13 +160,28 @@ def enumerate_hybrid_points(
     The set is independent of any power cap, so callers comparing one
     kernel against many caps should enumerate once and reuse (see
     :func:`best_hybrid_under_cap`'s ``points`` parameter).
+
+    Memoized process-wide: the enumeration is pure in ``(k, efficiency,
+    constants)`` and every :class:`HybridPoint` is frozen, so cache
+    entries are shared safely; each call returns a fresh list over the
+    shared points (``cache.hybrid_points.*`` counters account for it).
     """
-    return [
-        hybrid_execution(k, f, n, g, efficiency=efficiency, constants=constants)
-        for f in pstates.CPU_FREQS_GHZ
-        for n in range(1, pstates.N_CORES + 1)
-        for g in pstates.GPU_FREQS_GHZ
-    ]
+    c = constants if constants is not None else PowerModelConstants()
+    key = (k, efficiency, c)
+    points = _POINTS_CACHE.get(key)
+    if points is None:
+        _HP_MISSES.inc()
+        points = tuple(
+            hybrid_execution(k, f, n, g, efficiency=efficiency, constants=c)
+            for f in pstates.CPU_FREQS_GHZ
+            for n in range(1, pstates.N_CORES + 1)
+            for g in pstates.GPU_FREQS_GHZ
+        )
+        _POINTS_CACHE[key] = points
+        _HP_SIZE.set(len(_POINTS_CACHE))
+    else:
+        _HP_HITS.inc()
+    return list(points)
 
 
 def best_hybrid_under_cap(

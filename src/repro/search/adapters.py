@@ -1,0 +1,95 @@
+"""Adapters: discovered archives into the online/cluster/server stack.
+
+A search archive already speaks the :class:`~repro.core.frontier.
+ParetoFrontier` query language; these helpers package it into the
+*owner* types of each layer so discovered frontiers are drop-in:
+
+* :func:`archive_to_prediction` — a real :class:`~repro.core.predictor.
+  KernelPrediction` (array-backed, with conservative synthetic sample
+  anchors), consumable by :class:`~repro.core.scheduler.Scheduler`
+  ``select`` / ``select_many`` / ``sweep_table`` and publishable into a
+  :class:`~repro.server.service.DecisionService` via
+  ``publish_predictions``;
+* :func:`archive_to_node_frontier` — a :class:`~repro.cluster.node.
+  NodeFrontier` whose operating points are the archive's, for
+  :class:`~repro.cluster.pool.FrontierPool.from_frontiers` and the
+  fleet allocators;
+* :func:`pool_from_archives` — the one-call version for a whole fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.search.archive import EpsilonArchive
+
+__all__ = [
+    "archive_to_node_frontier",
+    "archive_to_prediction",
+    "pool_from_archives",
+]
+
+#: Cluster id attached to search-derived predictions: no classification
+#: tree produced them, and nothing downstream branches on the value.
+SEARCH_CLUSTER_ID: int = -1
+
+
+def archive_to_prediction(
+    archive: EpsilonArchive, kernel_uid: str
+) -> "KernelPrediction":
+    """Package an archive as an array-backed kernel prediction.
+
+    The sample measurements — mandatory anchors of a prediction — are
+    the same deterministic conservative synthetics the fault path uses
+    when real sample runs are exhausted, attributed to the standard
+    sample configurations.
+    """
+    from repro.core.predictor import KernelPrediction
+    from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+    from repro.faults import conservative_measurement
+
+    if not len(archive):
+        raise ValueError("archive is empty")
+    configs = tuple(archive.configs())
+    return KernelPrediction.from_arrays(
+        kernel_uid=kernel_uid,
+        cluster=SEARCH_CLUSTER_ID,
+        configs=configs,
+        index={cfg: i for i, cfg in enumerate(configs)},
+        power_w=archive.powers.copy(),
+        performance=archive.performances.copy(),
+        cpu_sample=conservative_measurement(CPU_SAMPLE),
+        gpu_sample=conservative_measurement(GPU_SAMPLE),
+    )
+
+
+def archive_to_node_frontier(archive: EpsilonArchive) -> "NodeFrontier":
+    """Package an archive as a node rate-vs-cap frontier.
+
+    Each archived point becomes an operating point whose cap and
+    expected power are its power level — the same identification the
+    per-kernel frontier uses when a node runs one kernel steady-state.
+    """
+    from repro.cluster.node import NodeFrontier, NodeFrontierPoint
+
+    if not len(archive):
+        raise ValueError("archive is empty")
+    return NodeFrontier(
+        [
+            NodeFrontierPoint(
+                cap_w=float(pw), expected_power_w=float(pw), rate=float(rt)
+            )
+            for pw, rt in zip(archive.powers, archive.performances)
+        ]
+    )
+
+
+def pool_from_archives(
+    archives: Mapping[str, EpsilonArchive],
+) -> "FrontierPool":
+    """A fleet frontier pool with one node per named archive."""
+    from repro.cluster.pool import FrontierPool
+
+    return FrontierPool.from_frontiers(
+        {name: archive_to_node_frontier(a) for name, a in archives.items()}
+    )

@@ -346,3 +346,100 @@ class TestBenchServeCommand:
         assert "error" in capsys.readouterr().err
         assert main(["-q", "bench-serve", "--rates", "-3"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestSearchCommand:
+    def test_parser_accepts_search_args(self):
+        p = build_parser()
+        args = p.parse_args(
+            [
+                "search",
+                "--space",
+                "paper",
+                "--population",
+                "32",
+                "--generations",
+                "10",
+                "--epsilon",
+                "0",
+                "--baseline-budget",
+                "500",
+                "--n-jobs",
+                "2",
+            ]
+        )
+        assert args.command == "search"
+        assert args.space == "paper"
+        assert args.population == 32 and args.generations == 10
+        assert args.epsilon == 0.0
+        assert args.baseline_budget == 500
+        assert args.n_jobs == 2
+        assert p.parse_args(["search"]).space == "demo"
+
+    def test_paper_space_search_validates_against_exact(self, capsys):
+        assert (
+            main(
+                [
+                    "-q",
+                    "search",
+                    "--space",
+                    "paper",
+                    "--population",
+                    "48",
+                    "--generations",
+                    "25",
+                    "--epsilon",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "space trinity: 144 points" in out
+        assert "vs exact enumeration" in out
+        assert "hypervolume ratio 1.0000" in out
+
+    def test_demo_space_with_baseline_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "search.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        assert (
+            main(
+                [
+                    "-q",
+                    "search",
+                    "--space",
+                    "demo",
+                    "--population",
+                    "32",
+                    "--generations",
+                    "5",
+                    "--baseline-budget",
+                    "200",
+                    "--json",
+                    str(json_path),
+                    "--telemetry-out",
+                    str(telemetry_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "space bigiron-demo: 1179648 points" in out
+        assert "random baseline: 200 evaluations" in out
+
+        summary = json.loads(json_path.read_text())
+        assert summary["space"] == "bigiron-demo"
+        assert summary["evaluations"] == 32 * 6
+        assert summary["baseline"]["evaluations"] == 200
+        powers = [p["power_w"] for p in summary["frontier"]]
+        assert powers == sorted(powers)
+
+        telemetry_doc = json.loads(telemetry_path.read_text())
+        metrics = telemetry_doc["metrics"]
+        assert metrics["counters"]["search.evaluations"] >= 32 * 6 + 200
+        assert "search.archive_size" in metrics["gauges"]
+        span_names = {s["name"] for s in telemetry_doc["spans"]}
+        assert "search/run" in span_names
+
+    def test_unknown_kernel_fails_cleanly(self, capsys):
+        assert main(["-q", "search", "--kernel", "no/such/kernel"]) != 0

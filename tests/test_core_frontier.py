@@ -152,3 +152,69 @@ def test_property_frontier_invariants(raw):
             assert best is None
         else:
             assert best.performance == max(q.performance for q in feasible)
+
+
+# ---------------------------------------------------------------------------
+# Tie handling (regression): search archives feed frontiers batches full
+# of exact ties, so the tie-breaks must be explicit and order-free.
+# ---------------------------------------------------------------------------
+
+
+class TestTieHandling:
+    def test_equal_power_tie_keeps_higher_perf_any_order(self):
+        cfgs = _configs(2)
+        a = _point(10.0, 1.0, cfgs[0])
+        b = _point(10.0, 2.0, cfgs[1])
+        for pts in ([a, b], [b, a]):
+            f = ParetoFrontier(pts)
+            assert len(f) == 1
+            assert f[0].performance == 2.0
+            assert f[0].config == cfgs[1]
+
+    def test_equal_perf_tie_keeps_lower_power_any_order(self):
+        cfgs = _configs(2)
+        a = _point(10.0, 1.0, cfgs[0])
+        b = _point(12.0, 1.0, cfgs[1])
+        for pts in ([a, b], [b, a]):
+            f = ParetoFrontier(pts)
+            assert len(f) == 1
+            assert f[0].power_w == 10.0
+            assert f[0].config == cfgs[0]
+
+    def test_exact_duplicate_keeps_earliest_input(self):
+        cfgs = _configs(2)
+        a = _point(10.0, 1.0, cfgs[0])
+        b = _point(10.0, 1.0, cfgs[1])
+        f = ParetoFrontier([a, b])
+        assert len(f) == 1
+        assert f[0].config == cfgs[0]  # stable sort: first input wins
+        g = ParetoFrontier([b, a])
+        assert g[0].config == cfgs[1]
+
+    def test_three_way_tie_column(self):
+        cfgs = _configs(3)
+        pts = [
+            _point(10.0, 1.0, cfgs[0]),
+            _point(10.0, 3.0, cfgs[1]),
+            _point(10.0, 2.0, cfgs[2]),
+        ]
+        f = ParetoFrontier(pts)
+        assert len(f) == 1
+        assert f[0].performance == 3.0
+
+    def test_from_arrays_tie_handling_matches_point_path(self):
+        cfgs = _configs(4)
+        powers = np.array([10.0, 10.0, 12.0, 12.0])
+        perfs = np.array([1.0, 2.0, 2.0, 3.0])
+        via_arrays = ParetoFrontier.from_arrays(cfgs, powers, perfs)
+        via_points = ParetoFrontier(
+            [
+                _point(pw, pf, c)
+                for c, pw, pf in zip(cfgs, powers, perfs)
+            ]
+        )
+        assert np.array_equal(via_arrays.powers, via_points.powers)
+        assert np.array_equal(via_arrays.performances, via_points.performances)
+        assert via_arrays.configs() == via_points.configs()
+        assert [p.power_w for p in via_arrays] == [10.0, 12.0]
+        assert [p.performance for p in via_arrays] == [2.0, 3.0]

@@ -97,3 +97,39 @@ class TestBestHybridUnderCap:
         best = best_hybrid_under_cap(k, 35.0)
         if best is not None:
             assert best.power_w <= 35.0
+
+
+class TestEnumerationMemo:
+    def test_repeated_enumeration_hits_cache(self):
+        from repro import telemetry
+        from repro.hardware.hybrid import enumerate_hybrid_points
+
+        k = make_kernel(work_s=0.777)  # unlikely to collide with other tests
+        hits = telemetry.counter("cache.hybrid_points.hits")
+        misses = telemetry.counter("cache.hybrid_points.misses")
+        first = enumerate_hybrid_points(k)
+        h0, m0 = hits.value, misses.value
+        second = enumerate_hybrid_points(k)
+        assert hits.value == h0 + 1 and misses.value == m0
+        assert second == first
+        assert telemetry.gauge("cache.hybrid_points.size").value >= 1
+
+    def test_distinct_parameters_miss(self):
+        from repro import telemetry
+        from repro.hardware.hybrid import enumerate_hybrid_points
+
+        k = make_kernel(work_s=0.778)
+        misses = telemetry.counter("cache.hybrid_points.misses")
+        enumerate_hybrid_points(k, efficiency=1.0)
+        m0 = misses.value
+        enumerate_hybrid_points(k, efficiency=0.5)
+        assert misses.value == m0 + 1
+
+    def test_returned_list_is_caller_owned(self):
+        from repro.hardware.hybrid import enumerate_hybrid_points
+
+        k = make_kernel(work_s=0.779)
+        first = enumerate_hybrid_points(k)
+        first.clear()  # mutating the returned list must not poison the memo
+        again = enumerate_hybrid_points(k)
+        assert len(again) > 0
