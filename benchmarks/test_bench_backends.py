@@ -1,0 +1,109 @@
+"""Backend zoo: per-backend evaluation and cross-architecture transfer.
+
+Two questions, answered with numbers written to ``BENCH_backends.json``
+at the repo root:
+
+* Does the full pipeline (characterize -> cluster -> regress ->
+  classify -> schedule) hold up on every registered hardware backend,
+  not just Trinity?  (Per-backend LOOCV summaries.)
+* How much of a model trained on one architecture carries over to
+  another, and what does k-sample recalibration buy?  (The transfer
+  matrix over ordered backend pairs.)
+
+Shape assertions: each backend's model stays well above the
+lowest-power-fallback floor; zero-shot transfer is always worse than
+native training; recalibration monotonically narrows the power-error
+gap at the largest k.
+
+The timed operation is one full transfer experiment (train on Trinity,
+evaluate with all recalibration budgets on the big.LITTLE part).
+"""
+
+import json
+from pathlib import Path
+
+from repro.evaluation import run_loocv, summarize
+from repro.evaluation.transfer import run_transfer
+from repro.hardware.backend import backend_names
+
+from conftest import write_artifact
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_backends.json"
+
+PAIRS = (
+    ("trinity", "biglittle"),
+    ("trinity", "mpsoc"),
+    ("biglittle", "mpsoc"),
+)
+
+
+def _model_summary(records):
+    rows = summarize(records)
+    by_name = {s.method: s for s in rows}
+    model = by_name.get("Model") or by_name[
+        min(by_name, key=lambda n: 0 if "Model" in n else 1)
+    ]
+    return model
+
+
+def test_backend_zoo_and_transfer(benchmark, suite):
+    backends = {}
+    for name in backend_names():
+        report = run_loocv(seed=0, backend=name)
+        model = _model_summary(report.records)
+        backends[name] = {
+            "records": len(report.records),
+            "model_pct_under_limit": round(model.pct_under_limit, 2),
+            "model_under_perf_pct": round(model.under_perf_pct, 2),
+            "wall_s": round(report.timings.wall_s, 4),
+        }
+        # The model must stay a real method on every machine: mostly
+        # compliant and well above half of oracle performance.
+        assert model.pct_under_limit > 75.0, name
+        assert model.under_perf_pct > 60.0, name
+
+    transfer = benchmark.pedantic(
+        run_transfer,
+        args=("trinity", "biglittle"),
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    reports = {("trinity", "biglittle"): transfer}
+    for pair in PAIRS[1:]:
+        reports[pair] = run_transfer(*pair, seed=0)
+
+    transfers = []
+    for (a, b), r in reports.items():
+        zero, best = r.point(0), r.point(max(r.ks))
+        # Native training dominates any transfer on power accuracy, and
+        # recalibration narrows zero-shot's power error.
+        assert r.native.power_mape < min(p.power_mape for p in r.transferred)
+        assert best.power_mape < zero.power_mape
+        transfers.append(r.to_dict())
+
+    payload = {"backends": backends, "transfers": transfers}
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = ["Backend zoo (LOOCV, seed 0)"]
+    for name, row in sorted(backends.items()):
+        lines.append(
+            f"  {name:<10} {row['records']:>5} records, model "
+            f"{row['model_pct_under_limit']:5.1f}% under limit, "
+            f"{row['model_under_perf_pct']:5.1f}% of oracle perf"
+        )
+    lines.append("Transfer (power MAPE%, zero-shot -> best k -> native)")
+    for r in transfers:
+        zero = r["transferred"][0]
+        best = r["transferred"][-1]
+        lines.append(
+            f"  {r['train_backend']:>9} -> {r['eval_backend']:<9} "
+            f"{100 * zero['power_mape']:6.1f} -> "
+            f"{100 * best['power_mape']:6.1f} -> "
+            f"{100 * r['native']['power_mape']:6.1f}"
+        )
+    text = "\n".join(lines)
+    write_artifact("backends.txt", text)
+    print("\n" + text)

@@ -9,6 +9,8 @@ Gives the paper's workflow a shell-level surface::
     repro evaluate --seed 0              # Table III end to end
     repro eval --telemetry-out t.json    # ... plus the telemetry report
     repro search --space demo            # DSE over a 1.18M-point space
+    repro evaluate --backend biglittle   # ... on another hardware backend
+    repro transfer --eval-backend mpsoc  # cross-architecture model transfer
     repro serve --rate 20000             # the concurrent decision server
     repro serve --monitor-port 9109      # ... with live /metrics + SLO alerts
     repro bench-serve                    # offered-load admission benchmark
@@ -95,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.hardware.backend import backend_names
+
+    backends = backend_names()
+    backend_help = (
+        "hardware backend to run against (default trinity; "
+        "see docs/HARDWARE_BACKENDS.md)"
+    )
+
     sub.add_parser("suite", help="list the 65 benchmark/input kernels")
 
     p_frontier = sub.add_parser(
@@ -145,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="full leave-one-benchmark-out method comparison",
     )
     p_eval.add_argument(
+        "--backend", choices=backends, default="trinity", help=backend_help
+    )
+    p_eval.add_argument(
         "--no-freq-limiting",
         action="store_true",
         help="skip the CPU+FL / GPU+FL baselines",
@@ -166,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_acc = sub.add_parser(
         "accuracy", help="cross-validated prediction accuracy (MAPE, rank tau)"
+    )
+    p_acc.add_argument(
+        "--backend", choices=backends, default="trinity", help=backend_help
     )
     p_acc.add_argument(
         "--n-jobs",
@@ -262,6 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
         "where enumeration is infeasible (default demo)",
     )
     p_search.add_argument(
+        "--backend",
+        choices=[b for b in backends if b != "trinity"],
+        default=None,
+        help="search a registered backend's configuration space instead "
+        "of --space (trinity is '--space paper'); validated against "
+        "exact enumeration",
+    )
+    p_search.add_argument(
         "--kernel",
         default="LU/Small/LUDecomposition",
         help="kernel uid to search for (default LU/Small/LUDecomposition)",
@@ -333,6 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=20000.0,
         help="offered load in requests/s (default 20000)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=backends, default="trinity", help=backend_help
     )
     p_serve.add_argument("--max-batch", type=int, default=None, help=batching_help)
     p_serve.add_argument(
@@ -411,6 +438,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the benchmark results as JSON to this path",
     )
+
+    p_transfer = sub.add_parser(
+        "transfer",
+        help="train on one backend, apply to another with k-sample "
+        "recalibration, report accuracy/scheduling vs native and oracle",
+    )
+    p_transfer.add_argument(
+        "--train-backend",
+        choices=backends,
+        default="trinity",
+        help="backend the model is trained on (default trinity)",
+    )
+    p_transfer.add_argument(
+        "--eval-backend",
+        choices=backends,
+        default="biglittle",
+        help="backend the model is transferred to (default biglittle)",
+    )
+    p_transfer.add_argument(
+        "--ks",
+        default="0,1,3,5",
+        help="comma-separated recalibration budgets per device block "
+        "(default 0,1,3,5)",
+    )
+    p_transfer.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the transfer report as JSON to this path",
+    )
+    p_transfer.add_argument("--telemetry-out", default=None, help=telemetry_help)
 
     p_tel = sub.add_parser(
         "telemetry", help="pretty-print or compare saved telemetry reports"
@@ -569,12 +627,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         logging.INFO,
         "loocv-start",
         seed=args.seed,
+        backend=args.backend,
         n_jobs=args.n_jobs,
         freq_limiting=not args.no_freq_limiting,
         fault_plan=args.fault_plan,
     )
     report = run_loocv(
         seed=args.seed,
+        backend=args.backend,
         include_freq_limiting=not args.no_freq_limiting,
         n_jobs=args.n_jobs,
         telemetry_out=args.telemetry_out,
@@ -595,8 +655,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.evaluation import evaluate_prediction_accuracy
 
-    log_event(_log, logging.INFO, "accuracy-start", seed=args.seed, n_jobs=args.n_jobs)
-    report = evaluate_prediction_accuracy(seed=args.seed, n_jobs=args.n_jobs)
+    log_event(
+        _log,
+        logging.INFO,
+        "accuracy-start",
+        seed=args.seed,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+    )
+    report = evaluate_prediction_accuracy(
+        seed=args.seed, n_jobs=args.n_jobs, backend=args.backend
+    )
     print(report.summary())
     if args.telemetry_out is not None:
         write_telemetry(args.telemetry_out)
@@ -769,6 +838,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "serve-start",
         requests=args.requests,
         rate=args.rate,
+        backend=args.backend,
         fault_plan=args.fault_plan,
     )
     monitor = None
@@ -806,7 +876,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=port,
                 slos=len(slos),
             )
-    service = build_default_service(seed=args.seed, fault_plan=args.fault_plan)
+    service = build_default_service(
+        seed=args.seed, fault_plan=args.fault_plan, backend=args.backend
+    )
     warm_errors = service.warm()
     config = ServerConfig.resolve(
         max_batch=args.max_batch, max_delay_us=args.max_delay_us
@@ -1051,7 +1123,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
 
     kernel = build_suite().get(args.kernel)
-    if args.space == "paper":
+    if args.backend is not None:
+        from repro.search import backend_space
+
+        space = backend_space(args.backend)
+    elif args.space == "paper":
         space = paper_space()
     else:
         from repro.search import demo_space
@@ -1106,7 +1182,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         ],
     }
 
-    if args.space == "paper":
+    if args.space == "paper" or args.backend is not None:
         report = validate_against_exact(space, kernel, archive)
         print(
             f"vs exact enumeration: hypervolume ratio "
@@ -1160,6 +1236,71 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.evaluation.transfer import run_transfer
+
+    if args.train_backend == args.eval_backend:
+        print("error: --train-backend and --eval-backend must differ",
+              file=sys.stderr)
+        return 2
+    try:
+        ks = sorted({int(k) for k in args.ks.split(",") if k.strip()})
+    except ValueError:
+        print(f"error: bad --ks {args.ks!r}", file=sys.stderr)
+        return 2
+    if not ks or any(k < 0 for k in ks):
+        print("error: --ks must be non-negative integers", file=sys.stderr)
+        return 2
+    log_event(
+        _log,
+        logging.INFO,
+        "transfer-start",
+        train_backend=args.train_backend,
+        eval_backend=args.eval_backend,
+        ks=ks,
+        seed=args.seed,
+    )
+    report = run_transfer(
+        args.train_backend, args.eval_backend, ks=ks, seed=args.seed
+    )
+    print(
+        f"transfer {report.train_backend} -> {report.eval_backend} "
+        f"({report.n_kernels} kernels, seed {report.seed})"
+    )
+    header = (
+        f"{'model':>14} {'recal/blk':>9} {'pMAPE%':>7} {'fMAPE%':>7} "
+        f"{'tau':>6} {'under%':>7} {'perf%':>6} {'energy%':>8}"
+    )
+    print(header)
+
+    def row(label: str, p) -> str:
+        return (
+            f"{label:>14} {p.k if p.k is not None else '-':>9} "
+            f"{100 * p.power_mape:>7.1f} {100 * p.perf_mape:>7.1f} "
+            f"{p.perf_rank_tau:>6.2f} {p.pct_under_limit:>7.1f} "
+            f"{p.under_perf_vs_oracle_pct:>6.1f} "
+            f"{p.under_energy_vs_oracle_pct:>8.1f}"
+        )
+
+    for p in report.transferred:
+        print(row(f"transfer k={p.k}", p))
+    print(row("native", report.native))
+    print(
+        "(perf%/energy% are vs the oracle in cap-compliant cases; "
+        "the oracle is 100 by definition)"
+    )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+        log_event(_log, logging.INFO, "transfer-json-written", path=args.json)
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        log_event(_log, logging.INFO, "telemetry-written", path=args.telemetry_out)
+    return 0
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "frontier": _cmd_frontier,
@@ -1173,6 +1314,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "search": _cmd_search,
     "serve": _cmd_serve,
+    "transfer": _cmd_transfer,
     "bench-serve": _cmd_bench_serve,
     "telemetry": _cmd_telemetry,
     "top": _cmd_top,

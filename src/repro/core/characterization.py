@@ -41,7 +41,18 @@ class KernelCharacterization:
     def __post_init__(self) -> None:
         if not self.measurements:
             raise ValueError("characterization needs at least one measurement")
-        for sample in (CPU_SAMPLE, GPU_SAMPLE):
+        # Table II anchors of the machine the measurements came from —
+        # Trinity's constants for Configuration keys, the owning
+        # descriptor's "both blocks fully powered" pair otherwise.
+        first = next(iter(self.measurements))
+        if isinstance(first, Configuration):
+            samples = (CPU_SAMPLE, GPU_SAMPLE)
+        else:
+            from repro.hardware.backend import descriptor_of_config
+
+            samples = descriptor_of_config(first).sample_configs()
+        object.__setattr__(self, "_samples", samples)
+        for sample in samples:
             if sample not in self.measurements:
                 raise ValueError(
                     f"characterization of {self.kernel_uid} is missing the "
@@ -50,13 +61,15 @@ class KernelCharacterization:
 
     @property
     def cpu_sample(self) -> Measurement:
-        """Measurement at the CPU sample configuration (Table II)."""
-        return self.measurements[CPU_SAMPLE]
+        """Measurement at the primary-device sample configuration
+        (Table II)."""
+        return self.measurements[self._samples[0]]
 
     @property
     def gpu_sample(self) -> Measurement:
-        """Measurement at the GPU sample configuration (Table II)."""
-        return self.measurements[GPU_SAMPLE]
+        """Measurement at the secondary-device sample configuration
+        (Table II)."""
+        return self.measurements[self._samples[1]]
 
     def sample_for(self, cfg: Configuration) -> Measurement:
         """The same-device sample measurement for a configuration."""

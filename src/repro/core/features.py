@@ -58,8 +58,17 @@ GPU_POWER_FEATURE_NAMES: tuple[str, ...] = (
 )
 
 
-def design_row(cfg: Configuration) -> np.ndarray:
-    """The regressor vector of one configuration (device-specific)."""
+def design_row(cfg) -> np.ndarray:
+    """The regressor vector of one configuration (device-specific).
+
+    Non-Trinity configurations delegate to their backend descriptor's
+    rows, which follow the same width/normalization convention — that
+    shared convention is what makes regression coefficients portable
+    across backends (:mod:`repro.evaluation.transfer`)."""
+    if not isinstance(cfg, Configuration):
+        from repro.hardware.backend import descriptor_of_config
+
+        return descriptor_of_config(cfg).perf_row(cfg)
     if cfg.device is Device.CPU:
         f = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
         n = cfg.n_threads / pstates.N_CORES
@@ -69,7 +78,7 @@ def design_row(cfg: Configuration) -> np.ndarray:
     return np.array([g, h, g * h])
 
 
-def power_design_row(cfg: Configuration) -> np.ndarray:
+def power_design_row(cfg) -> np.ndarray:
     """The regressor vector for *power* models.
 
     Power is physically linear in voltage-squared terms (static leakage
@@ -80,6 +89,10 @@ def power_design_row(cfg: Configuration) -> np.ndarray:
     model over configuration variables and first-order interactions";
     the variables are simply expressed in the units power is linear in.
     """
+    if not isinstance(cfg, Configuration):
+        from repro.hardware.backend import descriptor_of_config
+
+        return descriptor_of_config(cfg).power_row(cfg)
     if cfg.device is Device.CPU:
         f = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
         n = cfg.n_threads / pstates.N_CORES
@@ -100,7 +113,7 @@ def power_design_row(cfg: Configuration) -> np.ndarray:
     return np.array([g, h, g * h, vg2, g * vg2, h * vh2])
 
 
-def design_matrix(configs: list[Configuration]) -> np.ndarray:
+def design_matrix(configs: list) -> np.ndarray:
     """Stack :func:`design_row` over configurations (all must share a
     device, since CPU and GPU features differ)."""
     if not configs:

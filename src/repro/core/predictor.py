@@ -37,7 +37,7 @@ from repro.faults import (
     sanitize_measurement,
 )
 from repro.hardware.apu import Measurement
-from repro.hardware.config import Configuration
+from repro.hardware.config import Configuration, ConfigSpace
 from repro.profiling.library import ProfilingLibrary
 from repro.telemetry import counter, get_logger, log_event, trace_span
 
@@ -338,9 +338,10 @@ class OnlinePredictor:
         default cluster.  Without faults this path is byte-identical to
         the clean protocol.
         """
+        cpu_sample, gpu_sample = self._sample_configs()
         with trace_span("online/sample"):
-            cpu_m = self._sample(kernel, CPU_SAMPLE)
-            gpu_m = self._sample(kernel, GPU_SAMPLE)
+            cpu_m = self._sample(kernel, cpu_sample)
+            gpu_m = self._sample(kernel, gpu_sample)
         cluster = None
         if not (measurement_is_finite(cpu_m) and measurement_is_finite(gpu_m)):
             with trace_span("online/degraded"):
@@ -363,6 +364,16 @@ class OnlinePredictor:
                 with_uncertainty=with_uncertainty,
                 cluster=cluster,
             )
+
+    def _sample_configs(self) -> tuple:
+        """The machine's sample-configuration pair: Trinity's Table II
+        anchors on a Trinity model, the backend descriptor's otherwise."""
+        space = getattr(self.model, "config_space", None)
+        if space is None or isinstance(space, ConfigSpace):
+            return (CPU_SAMPLE, GPU_SAMPLE)
+        from repro.hardware.backend import sample_configs_of_space
+
+        return sample_configs_of_space(space)
 
     def _sample(self, kernel, config: Configuration) -> Measurement:
         """One sample run, retried on injected failure; falls back to a

@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.hardware import pstates
 from repro.hardware.config import Configuration
 
-__all__ = ["CPU_SAMPLE", "GPU_SAMPLE", "SAMPLE_CONFIGS"]
+__all__ = ["CPU_SAMPLE", "GPU_SAMPLE", "SAMPLE_CONFIGS", "sample_configs_for"]
 
 #: CPU-device sample configuration: all cores at maximum frequency.
 CPU_SAMPLE: Configuration = Configuration.cpu(
@@ -35,3 +35,17 @@ GPU_SAMPLE: Configuration = Configuration.gpu(
 
 #: Both sample configurations, CPU first (the paper's Table II order).
 SAMPLE_CONFIGS: tuple[Configuration, Configuration] = (CPU_SAMPLE, GPU_SAMPLE)
+
+
+def sample_configs_for(space) -> tuple:
+    """Table II generalized to any backend: the two sample
+    configurations of a configuration space (primary device first).
+
+    For Trinity's :class:`~repro.hardware.config.ConfigSpace` this is
+    exactly :data:`SAMPLE_CONFIGS`; descriptor-defined backends
+    (:class:`~repro.hardware.backend.BlockConfigSpace`) answer "both
+    blocks fully powered" from their own ladders.
+    """
+    from repro.hardware.backend import sample_configs_of_space
+
+    return sample_configs_of_space(space)

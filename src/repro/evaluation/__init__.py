@@ -33,6 +33,11 @@ from repro.evaluation.loocv import (
     run_loocv,
 )
 from repro.evaluation.metrics import MethodSummary, summarize, summarize_by_group
+from repro.evaluation.transfer import (
+    TransferPoint,
+    TransferReport,
+    run_transfer,
+)
 from repro.evaluation.sensitivity import (
     SensitivityPoint,
     render_sweep,
@@ -72,6 +77,9 @@ __all__ = [
     "resolve_n_jobs",
     "run_loocv",
     "SensitivityPoint",
+    "TransferPoint",
+    "TransferReport",
+    "run_transfer",
     "sweep_hyperparameter",
     "summarize",
     "summarize_by_group",

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import AdaptiveModel
-from repro.core.sample_configs import CPU_SAMPLE, GPU_SAMPLE
+from repro.core.sample_configs import sample_configs_for
 from repro.evaluation.loocv import resolve_n_jobs
 from repro.profiling.library import ProfilingLibrary
 from repro.profiling.store import CharacterizationStore
@@ -108,6 +108,7 @@ def evaluate_prediction_accuracy(
     power_anchor: bool = True,
     n_jobs: int | None = None,
     store: CharacterizationStore | None = None,
+    backend: str = "trinity",
 ) -> AccuracyReport:
     """Leave-one-benchmark-out prediction accuracy for every kernel.
 
@@ -121,8 +122,10 @@ def evaluate_prediction_accuracy(
     """
     suite = suite if suite is not None else build_suite()
     if store is None:
-        store = CharacterizationStore.shared(suite, seed=seed)
+        store = CharacterizationStore.shared(suite, seed=seed, backend=backend)
     apu = store.apu
+    # Table II anchors of whatever machine the store profiles on.
+    cpu_sample, gpu_sample = sample_configs_for(apu.config_space)
     store.characterize(list(suite))
     benchmarks = list(suite.benchmarks())
     fold_streams = np.random.SeedSequence(
@@ -137,12 +140,13 @@ def evaluate_prediction_accuracy(
             transform=transform,
             power_anchor=power_anchor,
             dissimilarity=store.dissimilarity_submatrix(train_kernels),
+            config_space=apu.config_space,
         )
         online = ProfilingLibrary(apu, seed=fold_streams[fold_i])
         fold_results: list[KernelAccuracy] = []
         for kernel in suite.for_benchmark(benchmark):
-            cpu_m = online.profile(kernel, CPU_SAMPLE).measurement
-            gpu_m = online.profile(kernel, GPU_SAMPLE).measurement
+            cpu_m = online.profile(kernel, cpu_sample).measurement
+            gpu_m = online.profile(kernel, gpu_sample).measurement
             prediction = model.predict_kernel(
                 cpu_m, gpu_m, kernel_uid=kernel.uid
             )

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.constants import respects_cap
-from repro.hardware.apu import TrinityAPU
 from repro.hardware.config import Configuration
 from repro.methods.base import PowerLimitMethod
 from repro.methods.oracle import Oracle
@@ -70,7 +69,7 @@ class CapEvaluation:
 
 
 def evaluate_kernel(
-    apu: TrinityAPU,
+    apu,
     oracle: Oracle,
     methods: Sequence[PowerLimitMethod],
     kernel: Kernel,
@@ -158,7 +157,13 @@ def evaluate_kernel(
                     )
                 )
         # Per-method selection and cap-violation accounting (the
-        # telemetry view behind the paper's %-under-limit columns).
+        # telemetry view behind the paper's %-under-limit columns),
+        # plus per-backend record labels so multi-backend sweeps are
+        # attributable in telemetry.json (docs/OBSERVABILITY.md).
+        backend_name = getattr(apu, "name", "") or "unknown"
+        counter(f"harness.backend.{backend_name}.records").inc(
+            len(cap_list) * len(methods)
+        )
         for method in methods:
             counter(f"harness.records.{method.name}").inc(len(cap_list))
             over = violations[method.name]
@@ -168,7 +173,7 @@ def evaluate_kernel(
 
 
 def evaluate_suite(
-    apu: TrinityAPU,
+    apu,
     oracle: Oracle,
     methods: Sequence[PowerLimitMethod],
     kernels: Iterable[Kernel],

@@ -142,6 +142,7 @@ def run_loocv(
     store: CharacterizationStore | None = None,
     telemetry_out: str | Path | None = None,
     fault_plan: "FaultPlan | str | Path | None" = None,
+    backend: str = "trinity",
 ) -> LOOCVReport:
     """Run the paper's full cross-validated method comparison.
 
@@ -188,13 +189,26 @@ def run_loocv(
         fault-free records bit-for-bit.  Forces serial fold execution:
         the injector's run clock is shared, so parallel folds would
         make which run draws which fault nondeterministic.
+    backend:
+        Hardware backend to evaluate on (default ``"trinity"``, the
+        paper's machine — its records are bit-identical to the
+        pre-backend driver).  Non-Trinity backends skip the
+        frequency-limiting baselines and the Model+FL hybrid (both are
+        built on Trinity's P-state tables), evaluating ModelMethod
+        against the oracle.
 
     Returns
     -------
     LOOCVReport
     """
     suite = suite if suite is not None else build_suite()
-    apu = TrinityAPU(seed=seed)
+    if backend == "trinity":
+        apu = TrinityAPU(seed=seed)
+    else:
+        from repro.hardware.backend import create_backend
+
+        apu = create_backend(backend, seed=seed)
+        include_freq_limiting = False
     oracle = Oracle(apu)
     if fault_plan is not None:
         from repro.faults import FaultPlan
@@ -206,7 +220,7 @@ def run_loocv(
         # deployment whose training campaign predates the faults.
         apu.inject_faults(fault_plan)
     if store is None:
-        store = CharacterizationStore.shared(suite, seed=seed)
+        store = CharacterizationStore.shared(suite, seed=seed, backend=backend)
     report = LOOCVReport()
     wall_start = time.perf_counter()
     fold_hist = histogram("loocv.fold_s")
@@ -251,6 +265,7 @@ def run_loocv(
                     dissimilarity=dissimilarity,
                     initial_medoid_uids=init_uids,
                     gram_pool=warm["pool"],
+                    config_space=apu.config_space,
                 )
             train_s = time.perf_counter() - t0
 
@@ -258,10 +273,15 @@ def run_loocv(
             scheduler = Scheduler(risk_margin=risk_margin)
             methods = [
                 ModelMethod(model, online_library, scheduler=scheduler),
-                ModelPlusFL(
-                    model, online_library, scheduler=scheduler, seed=mfl_ss
-                ),
             ]
+            if backend == "trinity":
+                # The FL fallback walks Trinity's P-state ladders; on
+                # other backends the hybrid is undefined.
+                methods.append(
+                    ModelPlusFL(
+                        model, online_library, scheduler=scheduler, seed=mfl_ss
+                    )
+                )
             if include_freq_limiting:
                 methods.append(CpuFrequencyLimiting(apu, seed=cpufl_ss))
                 methods.append(GpuFrequencyLimiting(apu, seed=gpufl_ss))

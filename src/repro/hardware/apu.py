@@ -19,12 +19,16 @@ microcontroller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
-
 import numpy as np
 
 from repro.hardware import pstates
+from repro.hardware.backend import (
+    TRINITY_DESCRIPTOR,
+    HardwareBackend,
+    Measurement,
+    register_backend,
+)
+from repro.hardware.batch import batch_true_rate_power
 from repro.hardware.config import Configuration, ConfigSpace, Device
 from repro.hardware.counters import synthesize_counters
 from repro.hardware.kernelmodel import (
@@ -38,48 +42,9 @@ from repro.hardware.power import PowerBreakdown, PowerModelConstants, power_w
 from repro.hardware.thermal import BoostPolicy
 from repro.telemetry import counter, gauge
 
+# Measurement moved to repro.hardware.backend with the interface
+# extraction; re-exported here for compatibility.
 __all__ = ["Measurement", "TrinityAPU"]
-
-
-@dataclass(frozen=True)
-class Measurement:
-    """One measured kernel execution.
-
-    Attributes
-    ----------
-    config:
-        The configuration the kernel executed on.
-    time_s:
-        Measured wall time of one kernel invocation (seconds).
-    cpu_plane_w:
-        Measured average power of the CPU-cores domain (watts).
-    nbgpu_plane_w:
-        Measured average power of the northbridge+GPU domain (watts).
-    counters:
-        Normalized performance-counter metrics
-        (see :data:`repro.hardware.counters.COUNTER_NAMES`).
-    """
-
-    config: Configuration
-    time_s: float
-    cpu_plane_w: float
-    nbgpu_plane_w: float
-    counters: Mapping[str, float] = field(default_factory=dict)
-
-    @property
-    def total_power_w(self) -> float:
-        """Whole-chip average power (sum of both domains)."""
-        return self.cpu_plane_w + self.nbgpu_plane_w
-
-    @property
-    def performance(self) -> float:
-        """Throughput: kernel invocations per second."""
-        return 1.0 / self.time_s
-
-    @property
-    def energy_j(self) -> float:
-        """Energy of one invocation (joules)."""
-        return self.total_power_w * self.time_s
 
 
 # Process-wide ground-truth caches.  With boost off, ground truth is a
@@ -139,8 +104,8 @@ def _characteristics(kernel: object) -> KernelCharacteristics:
     )
 
 
-class TrinityAPU:
-    """Simulated AMD Trinity A10-5800K APU.
+class TrinityAPU(HardwareBackend):
+    """Simulated AMD Trinity A10-5800K APU (registered as ``"trinity"``).
 
     Parameters
     ----------
@@ -159,6 +124,10 @@ class TrinityAPU:
         boost toward the policy's frequency whenever thermal headroom
         allows.
     """
+
+    name = "trinity"
+    #: Static machine description (ladders, samples, design rows).
+    descriptor = TRINITY_DESCRIPTOR
 
     def __init__(
         self,
@@ -476,3 +445,32 @@ class TrinityAPU:
         """Measure a kernel on every configuration (the paper's offline
         exhaustive characterization of training kernels)."""
         return [self.run(kernel, cfg, rng=rng) for cfg in self.config_space]
+
+    # -- batch evaluation ------------------------------------------------------
+
+    def batch_rate_power(
+        self,
+        kernel: object,
+        is_gpu: np.ndarray,
+        cpu_freq_ghz: np.ndarray,
+        n_threads: np.ndarray,
+        gpu_freq_ghz: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ground truth via :mod:`repro.hardware.batch`
+        (bit-identical to the scalar calls; boost is not modeled on the
+        batch path)."""
+        return batch_true_rate_power(
+            _characteristics(kernel),
+            is_gpu,
+            cpu_freq_ghz,
+            n_threads,
+            gpu_freq_ghz,
+            self.power_constants,
+        )
+
+
+register_backend(
+    "trinity",
+    lambda *, seed=0, noise=None: TrinityAPU(seed=seed, noise=noise),
+    TRINITY_DESCRIPTOR,
+)

@@ -1,0 +1,275 @@
+"""Simulated ARM-style big.LITTLE heterogeneous multi-processing SoC.
+
+Models the machine class of "Performance and Energy Trade-Offs for
+Parallel Applications on Heterogeneous Multi-Processing Systems" (see
+PAPERS.md): two asymmetric core clusters sharing one memory system,
+each with its own DVFS ladder, where work placed on the big cluster
+pays a *migration cost* to move thread context off the LITTLE cluster
+that boots and orchestrates the system.
+
+Mapping onto the reproduction's two-block machine shape
+(:mod:`repro.hardware.backend`):
+
+* **primary block** — the LITTLE cluster: 4 in-order efficiency cores,
+  low voltage, narrow memory path (strong bandwidth contention);
+* **secondary block** — the big cluster: 4 out-of-order performance
+  cores, higher IPC and voltage, plus the per-invocation migration
+  cost (the analog of Trinity's kernel-launch overhead).
+
+Measurements report the LITTLE-cluster rail as the primary power plane
+and the big cluster + uncore (interconnect, memory controller) as the
+secondary plane, mirroring how Trinity reports CPU cores vs
+northbridge+GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.backend import (
+    AnalyticalBackend,
+    BackendDescriptor,
+    BlockDescriptor,
+    characteristics_of,
+    register_backend,
+)
+from repro.hardware.kernelmodel import KernelCharacteristics, amdahl_speedup
+from repro.hardware.noise import NoiseModel
+from repro.hardware.power import PowerBreakdown
+
+__all__ = [
+    "HMPConstants",
+    "BigLittleSoC",
+    "BIGLITTLE_DESCRIPTOR",
+    "migration_cost_s",
+]
+
+#: Relative IPC of a LITTLE in-order core (Trinity-class core = 1.0).
+LITTLE_IPC: float = 0.62
+#: Relative IPC of a big out-of-order core.
+BIG_IPC: float = 1.18
+#: Bandwidth-contention coefficients per cluster (the LITTLE cluster's
+#: narrower path saturates faster).
+LITTLE_BW_CONTENTION: float = 0.35
+BIG_BW_CONTENTION: float = 0.20
+
+
+@dataclass(frozen=True)
+class HMPConstants:
+    """Calibration constants of the big.LITTLE machine model.
+
+    Frozen and hashable: this record keys the process-wide ground-truth
+    memo caches, so machines with equal constants share derivations and
+    machines with different constants can never collide.
+    """
+
+    little_static_base_w: float = 0.25
+    little_static_v2_w: float = 0.45
+    little_dyn_per_core_w: float = 0.85
+    little_idle_w: float = 0.30
+    big_static_base_w: float = 0.55
+    big_static_v2_w: float = 0.90
+    big_dyn_per_core_w: float = 1.75
+    big_idle_w: float = 0.45
+    uncore_static_w: float = 0.80
+    dram_max_w: float = 2.60
+    #: Fixed cluster-switch latency charged per invocation on the big
+    #: cluster (context migration off the LITTLE cluster).
+    migration_base_s: float = 0.002
+    #: Share of the kernel's launch/setup cost repaid on migration.
+    migration_launch_scale: float = 0.5
+
+
+def migration_cost_s(k: KernelCharacteristics, c: HMPConstants) -> float:
+    """Per-invocation cost of migrating a kernel to the big cluster.
+
+    Both terms are non-negative by construction (the property suite
+    pins this): a fixed cluster-switch latency plus a share of the
+    kernel's own launch/setup cost.
+    """
+    return c.migration_base_s + c.migration_launch_scale * k.launch_overhead_s
+
+
+#: Static machine description: LITTLE ladder 0.6-1.6 GHz, big ladder
+#: 0.8-2.2 GHz, four cores per cluster, per-cluster voltage curves.
+BIGLITTLE_DESCRIPTOR = BackendDescriptor(
+    name="biglittle",
+    primary=BlockDescriptor(
+        label="little",
+        freqs_ghz=(0.6, 0.9, 1.2, 1.4, 1.6),
+        thread_counts=(1, 2, 3, 4),
+        v0=0.55,
+        v1=0.15,
+    ),
+    secondary=BlockDescriptor(
+        label="big",
+        freqs_ghz=(0.8, 1.2, 1.6, 1.9, 2.2),
+        thread_counts=(1, 2, 3, 4),
+        v0=0.62,
+        v1=0.20,
+    ),
+)
+
+
+def _bw_factor(n: float, contention: float) -> float:
+    """Effective bandwidth scaling of ``n`` cores under a cluster's
+    contention coefficient (same shape as the Trinity model's
+    :func:`~repro.hardware.kernelmodel.memory_bandwidth_factor`)."""
+    return n / (1.0 + contention * (n - 1))
+
+
+class BigLittleSoC(AnalyticalBackend):
+    """The simulated big.LITTLE HMP machine (registered as
+    ``"biglittle"``)."""
+
+    name = "biglittle"
+
+    def __init__(
+        self,
+        *,
+        noise: NoiseModel | None = None,
+        constants: HMPConstants | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            BIGLITTLE_DESCRIPTOR,
+            constants if constants is not None else HMPConstants(),
+            noise=noise,
+            seed=seed,
+        )
+
+    # -- timing -------------------------------------------------------------
+
+    def _model_time_s(self, k: KernelCharacteristics, cfg) -> float:
+        c = self.power_constants
+        if cfg.is_gpu:  # big cluster
+            s = cfg.gpu_freq_ghz / self.descriptor.secondary.max_freq_ghz
+            n = cfg.n_threads
+            compute = (1.0 - k.mem_fraction) / (
+                amdahl_speedup(n, k.parallel_fraction) * s * BIG_IPC
+            )
+            memory = k.mem_fraction / _bw_factor(n, BIG_BW_CONTENTION)
+            return k.work_s * (compute + memory) + migration_cost_s(k, c)
+        s = cfg.cpu_freq_ghz / self.descriptor.primary.max_freq_ghz
+        n = cfg.n_threads
+        compute = (1.0 - k.mem_fraction) / (
+            amdahl_speedup(n, k.parallel_fraction) * s * LITTLE_IPC
+        )
+        memory = k.mem_fraction / _bw_factor(n, LITTLE_BW_CONTENTION)
+        return k.work_s * (compute + memory)
+
+    # -- power --------------------------------------------------------------
+
+    def _model_power(self, k: KernelCharacteristics, cfg) -> PowerBreakdown:
+        c = self.power_constants
+        act = k.activity * (1.0 + 0.25 * k.vector_fraction)
+        if cfg.is_gpu:  # big cluster active, LITTLE idling
+            f = cfg.gpu_freq_ghz
+            v = self.descriptor.secondary.voltage(f)
+            n = cfg.n_threads
+            big = (
+                c.big_static_base_w
+                + c.big_static_v2_w * v * v
+                + n * c.big_dyn_per_core_w * act * f * v * v
+            )
+            traffic = _bw_factor(n, BIG_BW_CONTENTION) / _bw_factor(
+                self.descriptor.secondary.max_threads, BIG_BW_CONTENTION
+            )
+            uncore = c.uncore_static_w + c.dram_max_w * k.dram_intensity * traffic
+            return PowerBreakdown(
+                cpu_plane_w=c.little_idle_w, nbgpu_plane_w=big + uncore
+            )
+        f = cfg.cpu_freq_ghz
+        v = self.descriptor.primary.voltage(f)
+        n = cfg.n_threads
+        little = (
+            c.little_static_base_w
+            + c.little_static_v2_w * v * v
+            + n * c.little_dyn_per_core_w * act * f * v * v
+        )
+        traffic = _bw_factor(n, LITTLE_BW_CONTENTION) / _bw_factor(
+            self.descriptor.primary.max_threads, LITTLE_BW_CONTENTION
+        )
+        uncore = c.uncore_static_w + c.dram_max_w * k.dram_intensity * traffic
+        return PowerBreakdown(
+            cpu_plane_w=little, nbgpu_plane_w=c.big_idle_w + uncore
+        )
+
+    # -- batch evaluation ---------------------------------------------------
+
+    def batch_rate_power(
+        self,
+        kernel: object,
+        is_gpu: np.ndarray,
+        cpu_freq_ghz: np.ndarray,
+        n_threads: np.ndarray,
+        gpu_freq_ghz: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ground truth, bit-identical to the scalar model
+        (float64 elementwise arithmetic in the same operation order)."""
+        k = characteristics_of(kernel)
+        c = self.power_constants
+        d = self.descriptor
+
+        # timing — both branches elementwise, joined on the device mask
+        s_b = gpu_freq_ghz / d.secondary.max_freq_ghz
+        compute_b = (1.0 - k.mem_fraction) / (
+            (1.0 / ((1.0 - k.parallel_fraction) + k.parallel_fraction / n_threads))
+            * s_b
+            * BIG_IPC
+        )
+        memory_b = k.mem_fraction / (
+            n_threads / (1.0 + BIG_BW_CONTENTION * (n_threads - 1))
+        )
+        t_big = k.work_s * (compute_b + memory_b) + (
+            c.migration_base_s + c.migration_launch_scale * k.launch_overhead_s
+        )
+        s_l = cpu_freq_ghz / d.primary.max_freq_ghz
+        compute_l = (1.0 - k.mem_fraction) / (
+            (1.0 / ((1.0 - k.parallel_fraction) + k.parallel_fraction / n_threads))
+            * s_l
+            * LITTLE_IPC
+        )
+        memory_l = k.mem_fraction / (
+            n_threads / (1.0 + LITTLE_BW_CONTENTION * (n_threads - 1))
+        )
+        t_little = k.work_s * (compute_l + memory_l)
+        t = np.where(is_gpu, t_big, t_little)
+
+        # power
+        act = k.activity * (1.0 + 0.25 * k.vector_fraction)
+        v_b = d.secondary.v0 + d.secondary.v1 * gpu_freq_ghz
+        big = (
+            c.big_static_base_w
+            + c.big_static_v2_w * v_b * v_b
+            + n_threads * c.big_dyn_per_core_w * act * gpu_freq_ghz * v_b * v_b
+        )
+        traffic_b = (
+            n_threads / (1.0 + BIG_BW_CONTENTION * (n_threads - 1))
+        ) / _bw_factor(d.secondary.max_threads, BIG_BW_CONTENTION)
+        uncore_b = c.uncore_static_w + c.dram_max_w * k.dram_intensity * traffic_b
+        v_l = d.primary.v0 + d.primary.v1 * cpu_freq_ghz
+        little = (
+            c.little_static_base_w
+            + c.little_static_v2_w * v_l * v_l
+            + n_threads * c.little_dyn_per_core_w * act * cpu_freq_ghz * v_l * v_l
+        )
+        traffic_l = (
+            n_threads / (1.0 + LITTLE_BW_CONTENTION * (n_threads - 1))
+        ) / _bw_factor(d.primary.max_threads, LITTLE_BW_CONTENTION)
+        uncore_l = c.uncore_static_w + c.dram_max_w * k.dram_intensity * traffic_l
+        power = np.where(
+            is_gpu,
+            c.little_idle_w + (big + uncore_b),
+            little + (c.big_idle_w + uncore_l),
+        )
+        return 1.0 / t, power
+
+
+register_backend(
+    "biglittle",
+    lambda *, seed=0, noise=None: BigLittleSoC(seed=seed, noise=noise),
+    BIGLITTLE_DESCRIPTOR,
+)

@@ -192,6 +192,16 @@ class ConfigSpace:
         except KeyError:
             raise ValueError(f"{cfg} is not in the configuration space") from None
 
+    @property
+    def descriptor(self):
+        """The Trinity backend descriptor, so ``ConfigSpace`` satisfies
+        the same protocol as
+        :class:`~repro.hardware.backend.BlockConfigSpace` (imported
+        lazily: :mod:`repro.hardware.backend` imports this module)."""
+        from repro.hardware.backend import TRINITY_DESCRIPTOR
+
+        return TRINITY_DESCRIPTOR
+
     def cpu_configs(self) -> list[Configuration]:
         """All CPU-device configurations."""
         return [c for c in self._configs if not c.is_gpu]

@@ -47,15 +47,28 @@ COUNTER_NAMES: tuple[str, ...] = (
 )
 
 
-def synthesize_counters(
-    k: KernelCharacteristics, cfg: Configuration
-) -> dict[str, float]:
+def synthesize_counters(k: KernelCharacteristics, cfg) -> dict[str, float]:
     """Ground-truth normalized counter metrics for ``k`` on ``cfg``.
 
     Returns a dict keyed by :data:`COUNTER_NAMES`.  All values are
     normalized rates (per instruction, per cycle, or fractions), like the
     paper's normalization of raw counts.
+
+    The synthesis is descriptor-parametrized: frequency and thread count
+    normalize to the primary block's ladder maxima, which for Trinity
+    :class:`Configuration`\\ s are exactly the historical
+    ``pstates.CPU_MAX_FREQ_GHZ`` / ``pstates.N_CORES`` constants, so the
+    Trinity values are bit-identical to the pre-backend code.
     """
+    if isinstance(cfg, Configuration):
+        max_freq_ghz = pstates.CPU_MAX_FREQ_GHZ
+        max_units = pstates.N_CORES
+    else:
+        from repro.hardware.backend import descriptor_of_config
+
+        primary = descriptor_of_config(cfg).primary
+        max_freq_ghz = primary.max_freq_ghz
+        max_units = primary.max_threads
     if cfg.device is Device.CPU:
         n = cfg.n_threads
         # Shared L2 within a PileDriver module: co-resident threads evict
@@ -65,7 +78,7 @@ def synthesize_counters(
         l2 = l1 * k.l2_miss_ratio * sharing
         # Stall fraction mirrors the timing model's memory share at this
         # thread count and frequency.
-        s = cfg.cpu_freq_ghz / pstates.CPU_MAX_FREQ_GHZ
+        s = cfg.cpu_freq_ghz / max_freq_ghz
         mem_time = k.mem_fraction / memory_bandwidth_factor(n)
         comp_time = (1.0 - k.mem_fraction) / s
         stall = mem_time / (mem_time + comp_time)
@@ -73,7 +86,7 @@ def synthesize_counters(
         dram_per_cycle = (
             k.dram_intensity
             * memory_bandwidth_factor(n)
-            / memory_bandwidth_factor(pstates.N_CORES)
+            / memory_bandwidth_factor(max_units)
             / s
         )
     else:

@@ -80,7 +80,9 @@ class CharacterizationStore:
     Parameters
     ----------
     apu:
-        Machine to profile on; defaults to ``TrinityAPU(seed=seed)``.
+        Machine to profile on — any
+        :class:`~repro.hardware.backend.HardwareBackend`; defaults to
+        ``TrinityAPU(seed=seed)``.
     seed:
         Master seed.  The store's profiling-noise streams are derived
         from it through a tagged :class:`numpy.random.SeedSequence`, so
@@ -94,7 +96,7 @@ class CharacterizationStore:
 
     def __init__(
         self,
-        apu: TrinityAPU | None = None,
+        apu=None,
         *,
         seed: int = 0,
         sampler: PowerSampler | None = None,
@@ -231,22 +233,28 @@ class CharacterizationStore:
 
     @classmethod
     def shared(
-        cls, kernels: Iterable, *, seed: int = 0
+        cls, kernels: Iterable, *, seed: int = 0, backend: str = "trinity"
     ) -> "CharacterizationStore":
-        """The process-wide store for a ``(suite, seed)`` pair.
+        """The process-wide store for a ``(suite, seed, backend)`` triple.
 
-        Repeated calls with suites of equal :func:`suite_fingerprint`
-        and equal seed return the same store, so independent evaluation
-        runs (folds, ablation variants, repeated ``run_loocv`` calls)
-        share one characterization campaign.  The store profiles on its
-        own default-constructed machine; callers needing a non-default
-        machine or sampler should build a private store instead.
+        Repeated calls with suites of equal :func:`suite_fingerprint`,
+        equal seed, and equal backend name return the same store, so
+        independent evaluation runs (folds, ablation variants, repeated
+        ``run_loocv`` calls) share one characterization campaign.  The
+        store profiles on its own default-constructed machine of the
+        named backend; callers needing a non-default machine or sampler
+        should build a private store instead.
         """
-        key = (suite_fingerprint(kernels), seed)
+        key = (suite_fingerprint(kernels), seed, backend)
         with cls._shared_lock:
             store = cls._shared.get(key)
             if store is None:
-                store = cls(seed=seed)
+                if backend == "trinity":
+                    store = cls(seed=seed)
+                else:
+                    from repro.hardware.backend import create_backend
+
+                    store = cls(create_backend(backend, seed=seed), seed=seed)
                 while len(cls._shared) >= _MAX_SHARED_STORES:
                     cls._shared.pop(next(iter(cls._shared)))
                 cls._shared[key] = store

@@ -30,6 +30,7 @@ from repro.search.space import (
     GeneratedConfig,
     GeneratedConfigSpace,
     SpaceTooLargeError,
+    backend_space,
     demo_space,
     paper_space,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ValidationReport",
     "archive_to_node_frontier",
     "archive_to_prediction",
+    "backend_space",
     "demo_space",
     "hypervolume",
     "nsga2_search",

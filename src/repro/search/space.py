@@ -47,6 +47,7 @@ __all__ = [
     "GeneratedConfig",
     "GeneratedConfigSpace",
     "SpaceTooLargeError",
+    "backend_space",
     "demo_space",
     "paper_space",
 ]
@@ -425,6 +426,112 @@ def paper_space(constants=None) -> GeneratedConfigSpace:
         FactorAxis("gpu_freq_ghz", pstates.GPU_FREQS_GHZ),
     )
     return GeneratedConfigSpace("trinity", axes, _TrinityModel(constants))
+
+
+# -- registered-backend spaces (search over any HardwareBackend) ---------------
+
+
+class _BackendModel:
+    """Vectorized truth for a registered :class:`HardwareBackend`.
+
+    The genome carries both blocks' knobs; canonicalization collapses
+    the inactive block exactly like the descriptor's enumeration does
+    (primary configs park the secondary at its minimum frequency with
+    one unit; secondary configs pin the host at the descriptor's host
+    frequency), so canonical genomes map one-to-one onto
+    ``descriptor.enumerate_configs()``.
+    """
+
+    def __init__(self, name: str) -> None:
+        from repro.hardware.backend import create_backend, descriptor_for
+
+        self.backend = create_backend(name)
+        self.descriptor = descriptor_for(name)
+        self.key = ("backend", name)
+
+    def canonicalize(self, space, genomes: np.ndarray) -> np.ndarray:
+        g = genomes.copy()
+        is_gpu = g[:, 0] == 1
+        # Axis order: device, cpu_freq_ghz, n_threads, gpu_freq_ghz,
+        # gpu_units.  Host frequency is the primary block's maximum —
+        # the last level of its ladder.
+        g[is_gpu, 1] = len(self.descriptor.primary.freqs_ghz) - 1
+        g[is_gpu, 2] = 0
+        g[~is_gpu, 3] = 0
+        g[~is_gpu, 4] = 0
+        return g
+
+    def evaluate(self, chars, columns):
+        is_gpu = columns["device"] == 1.0
+        n = np.where(is_gpu, columns["gpu_units"], columns["n_threads"])
+        return self.backend.batch_rate_power(
+            chars,
+            is_gpu,
+            columns["cpu_freq_ghz"],
+            n,
+            columns["gpu_freq_ghz"],
+        )
+
+    def payloads(self, space, genomes: np.ndarray) -> list:
+        from repro.hardware.backend import BlockConfig
+        from repro.hardware.config import Device
+
+        d = self.descriptor
+        cols = space.decode_columns(genomes)
+        out = []
+        for dev, f, n, fg, units in zip(
+            cols["device"],
+            cols["cpu_freq_ghz"],
+            cols["n_threads"],
+            cols["gpu_freq_ghz"],
+            cols["gpu_units"],
+        ):
+            if dev == 1.0:
+                out.append(
+                    BlockConfig(
+                        arch=d.name,
+                        device=Device.GPU,
+                        cpu_freq_ghz=d.host_freq_ghz(),
+                        n_threads=int(units),
+                        gpu_freq_ghz=float(fg),
+                    )
+                )
+            else:
+                out.append(
+                    BlockConfig(
+                        arch=d.name,
+                        device=Device.CPU,
+                        cpu_freq_ghz=float(f),
+                        n_threads=int(n),
+                        gpu_freq_ghz=d.secondary.min_freq_ghz,
+                    )
+                )
+        return out
+
+
+def backend_space(name: str) -> GeneratedConfigSpace:
+    """A registered backend's two-block space as a generated space.
+
+    Small enough for exact validation (like :func:`paper_space`), and
+    the bridge that lets the search engine drive any backend in the
+    registry.  Use :func:`paper_space` for ``"trinity"``: its space
+    sweeps the *host* frequency of GPU configurations too, which the
+    generic two-block genome deliberately collapses.
+    """
+    model = _BackendModel(name)
+    d = model.descriptor
+    axes = (
+        FactorAxis("device", (0.0, 1.0)),
+        FactorAxis("cpu_freq_ghz", d.primary.freqs_ghz),
+        FactorAxis(
+            "n_threads", tuple(float(n) for n in d.primary.thread_counts)
+        ),
+        FactorAxis("gpu_freq_ghz", d.secondary.freqs_ghz),
+        FactorAxis(
+            "gpu_units", tuple(float(n) for n in d.secondary.thread_counts)
+        ),
+    )
+    return GeneratedConfigSpace(name, axes, model)
 
 
 # -- the demo space (>1M points, enumeration-infeasible by design) -------------

@@ -424,6 +424,7 @@ def build_default_service(
     seed: int = 0,
     scheduler: Scheduler | None = None,
     fault_plan=None,
+    backend: str = "trinity",
 ) -> DecisionService:
     """Train a model on the full suite and wire a service over it.
 
@@ -433,18 +434,23 @@ def build_default_service(
     :class:`~repro.faults.FaultPlan` or path to one — attaches to the
     *serving* machine only, so sampling degradation is exercised
     without corrupting the model, mirroring ``repro runtime``'s
-    attach-after-training semantics.
+    attach-after-training semantics.  ``backend`` selects the served
+    machine from the backend registry
+    (:func:`repro.hardware.backend.backend_names`); training happens
+    natively on that machine.
     """
+    from repro.hardware.backend import create_backend
     from repro.profiling.store import CharacterizationStore
 
     suite = build_suite()
     kernels = list(suite)
-    store = CharacterizationStore.shared(suite, seed=seed)
+    store = CharacterizationStore.shared(suite, seed=seed, backend=backend)
+    apu = create_backend(backend, seed=seed)
     model = AdaptiveModel.train(
         store.characterize(kernels),
         dissimilarity=store.dissimilarity_submatrix(kernels),
+        config_space=apu.config_space,
     )
-    apu = TrinityAPU(seed=seed)
     if fault_plan is not None:
         from repro.faults import FaultPlan
 

@@ -81,8 +81,13 @@ def _gini(counts: np.ndarray) -> float:
     total = counts.sum()
     if total == 0:
         return 0.0
-    p = counts / total
-    return float(1.0 - np.sum(p * p))
+    # Sum of squared *integer* counts before the single division: integer
+    # partial sums are exact in float64, so the result is identical under
+    # any class ordering — Gini must be label-permutation invariant to
+    # the last bit or tied splits break the tree's permutation covariance
+    # (pinned by the CART property suite).
+    ss = float(np.sum(counts * counts))
+    return float(1.0 - ss / (total * total))
 
 
 def _best_split_reference(
@@ -294,10 +299,11 @@ class ClassificationTree:
         right = counts.astype(float) - left
         n_left = np.arange(1, m, dtype=float)[:, np.newaxis]  # (m-1, 1)
         n_right = float(m) - n_left
-        pl = left / n_left[:, :, np.newaxis]
-        pr = right / n_right[:, :, np.newaxis]
-        gini_left = 1.0 - np.sum(pl * pl, axis=2)
-        gini_right = 1.0 - np.sum(pr * pr, axis=2)
+        # Square-then-sum the integer counts (exact partial sums) before
+        # the single division — the same label-permutation-invariant
+        # arithmetic as _gini, and bit-identical to the reference loop.
+        gini_left = 1.0 - np.sum(left * left, axis=2) / (n_left * n_left)
+        gini_right = 1.0 - np.sum(right * right, axis=2) / (n_right * n_right)
         weighted = (n_left * gini_left + n_right * gini_right) / m  # (m-1, p)
 
         valid = XS[:-1] != XS[1:]  # cannot split between equal values

@@ -1,0 +1,137 @@
+"""Cross-architecture transfer harness (repro.evaluation.transfer)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.transfer import (
+    DEFAULT_KS,
+    TransferReport,
+    _lsq_gain,
+    recalibration_configs,
+    run_transfer,
+)
+from repro.hardware.backend import create_backend
+from repro.telemetry import counter
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    suite = build_suite()
+    return [suite.get(uid) for uid in (
+        "LU/Small/LUDecomposition",
+        "LU/Large/LUDecomposition",
+        "CoMD/Small/LJForce",
+        "CoMD/Large/EAMForce",
+        "LULESH/Small/CalcFBHourglassForce",
+        "SMC/Ref/UpdateRK3",
+    )]
+
+
+@pytest.fixture(scope="module")
+def report(small_suite):
+    return run_transfer("trinity", "biglittle", seed=0, suite=small_suite)
+
+
+class TestRecalibrationConfigs:
+    def test_zero_budget_picks_nothing(self):
+        space = create_backend("biglittle").config_space
+        assert recalibration_configs(space, 0) == ((), ())
+
+    def test_picks_k_per_block_excluding_samples(self):
+        from repro.core.sample_configs import sample_configs_for
+
+        space = create_backend("biglittle").config_space
+        samples = set(sample_configs_for(space))
+        for k in (1, 3, 5):
+            cpu_cfgs, gpu_cfgs = recalibration_configs(space, k)
+            assert len(cpu_cfgs) == k and len(gpu_cfgs) == k
+            assert not (set(cpu_cfgs) | set(gpu_cfgs)) & samples
+            assert all(not c.is_gpu for c in cpu_cfgs)
+            assert all(c.is_gpu for c in gpu_cfgs)
+
+    def test_selection_is_deterministic(self):
+        space = create_backend("mpsoc").config_space
+        assert recalibration_configs(space, 3) == recalibration_configs(
+            space, 3
+        )
+
+    def test_budget_clamps_to_block_size(self):
+        space = create_backend("mpsoc").config_space
+        cpu_cfgs, gpu_cfgs = recalibration_configs(space, 1000)
+        assert len(cpu_cfgs) < 1000 and len(gpu_cfgs) < 1000
+        assert len(set(cpu_cfgs)) == len(cpu_cfgs)
+
+    def test_negative_budget_rejected(self):
+        space = create_backend("mpsoc").config_space
+        with pytest.raises(ValueError):
+            recalibration_configs(space, -1)
+
+
+class TestLsqGain:
+    def test_exact_scale_recovered(self):
+        assert _lsq_gain([1.0, 2.0, 3.0], [2.0, 4.0, 6.0]) == pytest.approx(2.0)
+
+    def test_degenerate_predictions_fall_back_to_identity(self):
+        assert _lsq_gain([0.0, 0.0], [5.0, 6.0]) == 1.0
+
+    def test_negative_gain_falls_back_to_identity(self):
+        assert _lsq_gain([1.0, 1.0], [-5.0, -6.0]) == 1.0
+
+
+class TestRunTransfer:
+    def test_report_shape(self, report):
+        assert isinstance(report, TransferReport)
+        assert report.ks == DEFAULT_KS
+        assert tuple(p.k for p in report.transferred) == DEFAULT_KS
+        assert report.native.k is None
+        assert report.point(0).recalibration_runs == 0
+
+    def test_recalibration_improves_power_accuracy(self, report):
+        zero_shot = report.point(0)
+        recalibrated = report.point(max(report.ks))
+        assert recalibrated.power_mape < zero_shot.power_mape
+
+    def test_native_model_beats_transfer(self, report):
+        best = min(p.power_mape for p in report.transferred)
+        assert report.native.power_mape < best
+        assert report.native.pct_under_limit >= max(
+            p.pct_under_limit for p in report.transferred
+        )
+
+    def test_metrics_are_finite_and_bounded(self, report):
+        for p in (*report.transferred, report.native):
+            assert math.isfinite(p.power_mape) and p.power_mape >= 0
+            assert math.isfinite(p.perf_mape) and p.perf_mape >= 0
+            assert -1.0 <= p.perf_rank_tau <= 1.0
+            assert 0.0 <= p.pct_under_limit <= 100.0
+            assert p.n_cases > 0
+
+    def test_recalibration_runs_counted(self, small_suite):
+        before = counter("transfer.recalibration_samples").value
+        r = run_transfer(
+            "trinity", "mpsoc", ks=(2,), seed=0, suite=small_suite
+        )
+        delta = counter("transfer.recalibration_samples").value - before
+        # 2 per block x 2 blocks x kernels, all on the telemetry counter.
+        assert delta == 4 * len(small_suite)
+        assert r.point(2).recalibration_runs == delta
+
+    def test_same_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_transfer("trinity", "trinity")
+
+    def test_to_dict_round_trips(self, report):
+        d = report.to_dict()
+        assert d["train_backend"] == "trinity"
+        assert d["eval_backend"] == "biglittle"
+        assert len(d["transferred"]) == len(report.transferred)
+        assert d["native"]["k"] is None
+
+    def test_deterministic_given_seed(self, small_suite):
+        a = run_transfer("trinity", "mpsoc", ks=(0, 1), seed=3, suite=small_suite)
+        b = run_transfer("trinity", "mpsoc", ks=(0, 1), seed=3, suite=small_suite)
+        assert a.to_dict() == b.to_dict()

@@ -11,6 +11,10 @@ seed, not just the golden-record seed 0:
   the harness judged something outside ground truth;
 * every record is structurally sound (positive measurements, known
   method, non-negative online-iteration counts).
+
+The sweep runs on every registered hardware backend, not just Trinity:
+the invariants are properties of the evaluation harness and must hold
+regardless of which machine model sits underneath.
 """
 
 from __future__ import annotations
@@ -23,11 +27,18 @@ from repro.constants import CAP_EPSILON, respects_cap
 from repro.evaluation import run_loocv
 
 SEEDS = range(5)
+BACKENDS = ("trinity", "biglittle", "mpsoc")
+CASES = [(s, b) for b in BACKENDS for s in SEEDS]
 
 
-@pytest.fixture(scope="module", params=SEEDS, ids=[f"seed{s}" for s in SEEDS])
+@pytest.fixture(
+    scope="module",
+    params=CASES,
+    ids=[f"{b}-seed{s}" for s, b in CASES],
+)
 def report(request):
-    return run_loocv(seed=request.param)
+    seed, backend = request.param
+    return run_loocv(seed=seed, backend=backend)
 
 
 def test_records_exist(report):
